@@ -1,0 +1,281 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the paper's evaluation at paper scale (working sets beyond the Table 1
+// 3MB L3), one benchmark function per exhibit:
+//
+//	BenchmarkFigure2    perfect memory vs. perfect delinquent loads
+//	BenchmarkTable2     slice characteristics
+//	BenchmarkFigure8    SSP speedups on both machine models
+//	BenchmarkFigure9    where delinquent loads are satisfied
+//	BenchmarkFigure10   normalized cycle breakdowns
+//	BenchmarkSection45  automatic vs. hand adaptation
+//	BenchmarkAblation*  design-choice ablations
+//
+// Results are emitted as benchmark metrics (speedups, averages), so
+// `go test -bench=. -benchmem` reproduces the paper's numbers end to end.
+// Simulation results are cached across benchmarks within the process via a
+// shared suite, mirroring how the figures share the same runs in the paper.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"ssp/internal/exp"
+	"ssp/internal/ir"
+	"ssp/internal/profile"
+	"ssp/internal/sim"
+	"ssp/internal/ssp"
+	"ssp/internal/workloads"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *exp.Suite
+)
+
+func paperSuite() *exp.Suite {
+	suiteOnce.Do(func() { suite = exp.NewSuite(exp.ScalePaper) })
+	return suite
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	s := paperSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pmIO, pdIO, pmOOO, pdOOO []float64
+		for _, r := range rows {
+			pmIO = append(pmIO, r.PerfMemIO)
+			pdIO = append(pdIO, r.PerfDelIO)
+			pmOOO = append(pmOOO, r.PerfMemOOO)
+			pdOOO = append(pdOOO, r.PerfDelOOO)
+		}
+		b.ReportMetric(exp.Mean(pmIO), "io-perfmem-x")
+		b.ReportMetric(exp.Mean(pdIO), "io-perfdel-x")
+		b.ReportMetric(exp.Mean(pmOOO), "ooo-perfmem-x")
+		b.ReportMetric(exp.Mean(pdOOO), "ooo-perfdel-x")
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	s := paperSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var slices, interproc, size, live float64
+		for _, r := range rows {
+			slices += float64(r.Slices)
+			interproc += float64(r.Interproc)
+			size += r.AvgSize
+			live += r.AvgLiveIns
+		}
+		n := float64(len(rows))
+		b.ReportMetric(slices, "slices-total")
+		b.ReportMetric(interproc, "interproc-total")
+		b.ReportMetric(size/n, "avg-slice-size")
+		b.ReportMetric(live/n, "avg-live-ins")
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	s := paperSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var io, ooo, oooSSP []float64
+		for _, r := range rows {
+			io = append(io, r.InOrderSSP)
+			ooo = append(ooo, r.OOO)
+			oooSSP = append(oooSSP, r.OOOSSP)
+		}
+		// The paper's headline: 87% average in-order SSP speedup, 175%
+		// OOO speedup, +5% SSP on OOO.
+		b.ReportMetric(100*(exp.Mean(io)-1), "io-ssp-avg-pct")
+		b.ReportMetric(100*(exp.Mean(ooo)-1), "ooo-avg-pct")
+		b.ReportMetric(100*(exp.Mean(oooSSP)/exp.Mean(ooo)-1), "ssp-on-ooo-pct")
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	s := paperSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Aggregate metric: average full-memory-hit share of delinquent
+		// loads, baseline vs SSP on in-order (SSP converts memory hits
+		// into partial/cache hits).
+		var baseMem, sspMem []float64
+		for _, r := range rows {
+			baseMem = append(baseMem, r.Configs[0].Share["Mem"])
+			sspMem = append(sspMem, r.Configs[1].Share["Mem"])
+		}
+		b.ReportMetric(100*exp.Mean(baseMem), "io-mem-share-pct")
+		b.ReportMetric(100*exp.Mean(sspMem), "io+ssp-mem-share-pct")
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	s := paperSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var baseL3, sspL3 []float64
+		for _, r := range rows {
+			baseL3 = append(baseL3, r.Configs[0].Norm[sim.CatL3])
+			sspL3 = append(sspL3, r.Configs[1].Norm[sim.CatL3])
+		}
+		// "SSP effectively reduces the L3 cycles" (§4.4.1).
+		b.ReportMetric(100*exp.Mean(baseL3), "io-L3-stall-pct")
+		b.ReportMetric(100*exp.Mean(sspL3), "io+ssp-L3-stall-pct")
+	}
+}
+
+func BenchmarkSection45(b *testing.B) {
+	s := paperSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Section45()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.AutoSpeedup, r.Bench+"-"+r.Model+"-auto-x")
+			b.ReportMetric(r.HandSpeedup, r.Bench+"-"+r.Model+"-hand-x")
+		}
+	}
+}
+
+// benchAblation measures one disabled design choice against the full tool on
+// the chaining-heavy benchmarks.
+func benchAblation(b *testing.B, v exp.Variant) {
+	s := paperSuite()
+	benches := []string{"mcf", "em3d", "vpr"}
+	for i := 0; i < b.N; i++ {
+		var full, ablated []float64
+		for _, name := range benches {
+			f, err := s.Speedup(name, sim.InOrder, exp.VarBase, sim.InOrder, exp.VarSSP)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := s.Speedup(name, sim.InOrder, exp.VarBase, sim.InOrder, v)
+			if err != nil {
+				b.Fatal(err)
+			}
+			full = append(full, f)
+			ablated = append(ablated, a)
+		}
+		b.ReportMetric(exp.Mean(full), "full-tool-x")
+		b.ReportMetric(exp.Mean(ablated), "ablated-x")
+	}
+}
+
+func BenchmarkAblationChaining(b *testing.B)    { benchAblation(b, exp.VarNoChain) }
+func BenchmarkAblationRotation(b *testing.B)    { benchAblation(b, exp.VarNoRotate) }
+func BenchmarkAblationPrediction(b *testing.B)  { benchAblation(b, exp.VarNoPred) }
+func BenchmarkAblationSpeculation(b *testing.B) { benchAblation(b, exp.VarNoSpec) }
+
+// BenchmarkSimulatorInOrder measures raw in-order simulation throughput.
+func BenchmarkSimulatorInOrder(b *testing.B) { benchSimulator(b, sim.DefaultInOrder()) }
+
+// BenchmarkSimulatorOOO measures raw OOO simulation throughput.
+func BenchmarkSimulatorOOO(b *testing.B) { benchSimulator(b, sim.DefaultOOO()) }
+
+func benchSimulator(b *testing.B, cfg sim.Config) {
+	spec, err := workloads.ByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _ := spec.Build(5000)
+	img, err := ir.Link(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.New(cfg, img).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.MainInstrs + res.SpecInstrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim-instrs/s")
+}
+
+// BenchmarkAdapt measures the post-pass tool itself (slicing, scheduling,
+// trigger placement, code generation) on the mcf kernel.
+func BenchmarkAdapt(b *testing.B) {
+	spec, err := workloads.ByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _ := spec.Build(5000)
+	cfg := sim.DefaultInOrder()
+	cfg.Mem.L1Size = 1 << 10
+	cfg.Mem.L2Size = 4 << 10
+	cfg.Mem.L3Size = 16 << 10
+	prof, err := profile.Collect(p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ssp.Adapt(p, prof, ssp.DefaultOptions(), "mcf"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfile measures the profiling pass.
+func BenchmarkProfile(b *testing.B) {
+	spec, err := workloads.ByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _ := spec.Build(2000)
+	cfg := sim.DefaultInOrder()
+	cfg.Mem.L1Size = 1 << 10
+	cfg.Mem.L2Size = 4 << 10
+	cfg.Mem.L3Size = 16 << 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := profile.Collect(p, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionUnroll measures the chain-unrolling extension
+// (ChainUnroll=2) against the paper-faithful tool on the chaining
+// benchmarks, quantifying how much of the §4.5 hand-adaptation gap the
+// automated unroller closes.
+func BenchmarkExtensionUnroll(b *testing.B) {
+	s := paperSuite()
+	benches := []string{"mcf", "vpr", "treeadd.bf"}
+	for i := 0; i < b.N; i++ {
+		var full, unrolled []float64
+		for _, name := range benches {
+			f, err := s.Speedup(name, sim.InOrder, exp.VarBase, sim.InOrder, exp.VarSSP)
+			if err != nil {
+				b.Fatal(err)
+			}
+			u, err := s.Speedup(name, sim.InOrder, exp.VarBase, sim.InOrder, exp.VarUnroll)
+			if err != nil {
+				b.Fatal(err)
+			}
+			full = append(full, f)
+			unrolled = append(unrolled, u)
+		}
+		b.ReportMetric(exp.Mean(full), "paper-tool-x")
+		b.ReportMetric(exp.Mean(unrolled), "unroll2-x")
+	}
+}

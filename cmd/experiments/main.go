@@ -1,0 +1,165 @@
+// Command experiments regenerates the paper's evaluation: Figure 2,
+// Table 2, Figure 8, Figure 9, Figure 10, the §4.5 automatic-vs-hand
+// comparison, and the ablation study, printing each as a text table.
+//
+// Usage:
+//
+//	experiments                  # everything at paper scale
+//	experiments -scale test      # quick pass with the scaled-down machine
+//	experiments -only fig8,table2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ssp/internal/exp"
+	"ssp/internal/sim"
+)
+
+func main() {
+	var (
+		scale = flag.String("scale", "paper", "experiment scale: paper or test")
+		only  = flag.String("only", "", "comma-separated subset: fig2,table2,fig8,fig9,fig10,sec45,ablations")
+	)
+	flag.Parse()
+	sc := exp.ScalePaper
+	if *scale == "test" {
+		sc = exp.ScaleTest
+	}
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(k)] = true
+		}
+	}
+	want := func(k string) bool { return len(wanted) == 0 || wanted[k] }
+
+	s := exp.NewSuite(sc)
+	if err := run(s, want); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(s *exp.Suite, want func(string) bool) error {
+	f2 := func(v float64) string { return fmt.Sprintf("%.2f", v) }
+	if want("fig2") {
+		rows, err := s.Figure2()
+		if err != nil {
+			return err
+		}
+		var cells [][]string
+		var pmIO, pdIO, pmOOO, pdOOO []float64
+		for _, r := range rows {
+			cells = append(cells, []string{r.Bench, f2(r.PerfMemIO), f2(r.PerfDelIO), f2(r.PerfMemOOO), f2(r.PerfDelOOO)})
+			pmIO = append(pmIO, r.PerfMemIO)
+			pdIO = append(pdIO, r.PerfDelIO)
+			pmOOO = append(pmOOO, r.PerfMemOOO)
+			pdOOO = append(pdOOO, r.PerfDelOOO)
+		}
+		cells = append(cells, []string{"average", f2(exp.Mean(pmIO)), f2(exp.Mean(pdIO)), f2(exp.Mean(pmOOO)), f2(exp.Mean(pdOOO))})
+		fmt.Println("Figure 2: speedup with perfect memory vs. delinquent loads always hitting L1")
+		fmt.Println(exp.FormatTable(
+			[]string{"bench", "io perfect-mem", "io perfect-del", "ooo perfect-mem", "ooo perfect-del"}, cells))
+	}
+	if want("table2") {
+		rows, err := s.Table2()
+		if err != nil {
+			return err
+		}
+		var cells [][]string
+		for _, r := range rows {
+			cells = append(cells, []string{r.Bench, fmt.Sprint(r.Slices), fmt.Sprint(r.Interproc),
+				fmt.Sprintf("%.1f", r.AvgSize), fmt.Sprintf("%.1f", r.AvgLiveIns)})
+		}
+		fmt.Println("Table 2: slice characteristics")
+		fmt.Println(exp.FormatTable([]string{"bench", "slices", "interproc", "avg size", "avg live-ins"}, cells))
+	}
+	if want("fig8") {
+		rows, err := s.Figure8()
+		if err != nil {
+			return err
+		}
+		var cells [][]string
+		var a, b, c []float64
+		for _, r := range rows {
+			cells = append(cells, []string{r.Bench, f2(r.InOrderSSP), f2(r.OOO), f2(r.OOOSSP)})
+			a = append(a, r.InOrderSSP)
+			b = append(b, r.OOO)
+			c = append(c, r.OOOSSP)
+		}
+		cells = append(cells, []string{"average", f2(exp.Mean(a)), f2(exp.Mean(b)), f2(exp.Mean(c))})
+		fmt.Println("Figure 8: speedups over the baseline in-order model")
+		fmt.Println(exp.FormatTable([]string{"bench", "in-order+SSP", "OOO", "OOO+SSP"}, cells))
+		fmt.Printf("in-order SSP average speedup: %+.0f%%   SSP on OOO average: %+.0f%%\n\n",
+			100*(exp.Mean(a)-1), 100*(exp.Mean(c)/exp.Mean(b)-1))
+	}
+	if want("fig9") {
+		rows, err := s.Figure9()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 9: where delinquent loads are satisfied when missing L1")
+		header := []string{"bench", "config", "L1 missrate", "L2", "L2 part", "L3", "L3 part", "Mem", "Mem part"}
+		var cells [][]string
+		for _, r := range rows {
+			for _, c := range r.Configs {
+				pc := func(k string) string { return fmt.Sprintf("%.0f%%", 100*c.Share[k]) }
+				cells = append(cells, []string{r.Bench, c.Label, fmt.Sprintf("%.3f", c.L1MissRate),
+					pc("L2"), pc("L2 partial"), pc("L3"), pc("L3 partial"), pc("Mem"), pc("Mem partial")})
+			}
+		}
+		fmt.Println(exp.FormatTable(header, cells))
+	}
+	if want("fig10") {
+		rows, err := s.Figure10()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 10: cycle breakdown normalized to the baseline in-order cycles")
+		header := []string{"bench", "config", "total"}
+		for cat := sim.Category(0); cat < sim.NumCategories; cat++ {
+			header = append(header, cat.String())
+		}
+		var cells [][]string
+		for _, r := range rows {
+			for _, c := range r.Configs {
+				row := []string{r.Bench, c.Label, fmt.Sprintf("%.2f", c.Total)}
+				for cat := sim.Category(0); cat < sim.NumCategories; cat++ {
+					row = append(row, fmt.Sprintf("%.2f", c.Norm[cat]))
+				}
+				cells = append(cells, row)
+			}
+		}
+		fmt.Println(exp.FormatTable(header, cells))
+	}
+	if want("sec45") {
+		rows, err := s.Section45()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Section 4.5: automatic vs. hand adaptation")
+		var cells [][]string
+		for _, r := range rows {
+			cells = append(cells, []string{r.Bench, r.Model, f2(r.AutoSpeedup), f2(r.HandSpeedup),
+				fmt.Sprintf("%.0f%%", r.LossPct)})
+		}
+		fmt.Println(exp.FormatTable([]string{"bench", "model", "auto speedup", "hand speedup", "tool loss"}, cells))
+	}
+	if want("ablations") {
+		rows, err := s.Ablations(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablations: in-order speedup with each design choice disabled")
+		var cells [][]string
+		for _, r := range rows {
+			cells = append(cells, []string{r.Bench, string(r.Variant), f2(r.Speedup)})
+		}
+		fmt.Println(exp.FormatTable([]string{"bench", "variant", "speedup"}, cells))
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Command simrun executes a binary on one of the research Itanium machine
+// models and reports cycles, IPC, the Figure 10 cycle breakdown, SSP thread
+// statistics, and optionally the per-load cache profile.
+//
+// Usage:
+//
+//	simrun -in prog.ssp -model in-order
+//	simrun -bench mcf -model ooo -loads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ssp/internal/cliutil"
+	"ssp/internal/ir"
+	"ssp/internal/sim"
+	"ssp/internal/sim/mem"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "input assembly file")
+		bench = flag.String("bench", "", "built-in benchmark name")
+		scale = flag.Int("scale", 0, "benchmark scale (0 = default)")
+		model = flag.String("model", "in-order", "machine model: in-order or ooo")
+		tiny  = flag.Bool("tiny", false, "use the scaled-down test memory system")
+		loads = flag.Bool("loads", false, "print the per-static-load cache profile")
+	)
+	flag.Parse()
+	if err := run(*in, *bench, *scale, *model, *tiny, *loads); err != nil {
+		fmt.Fprintln(os.Stderr, "simrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, bench string, scale int, model string, tiny, loads bool) error {
+	p, err := cliutil.LoadProgram(in, bench, scale)
+	if err != nil {
+		return err
+	}
+	cfg, err := cliutil.MachineConfig(model, tiny)
+	if err != nil {
+		return err
+	}
+	img, err := ir.Link(p)
+	if err != nil {
+		return err
+	}
+	m := sim.New(cfg, img)
+	res, err := m.Run()
+	if err != nil {
+		return err
+	}
+	if res.TimedOut {
+		return fmt.Errorf("watchdog expired after %d cycles", res.Cycles)
+	}
+	fmt.Printf("model:        %s\n", cfg.Model)
+	fmt.Printf("cycles:       %d\n", res.Cycles)
+	fmt.Printf("instructions: %d main, %d speculative\n", res.MainInstrs, res.SpecInstrs)
+	fmt.Printf("ipc:          %.3f\n", res.IPC())
+	fmt.Printf("mispredicts:  %d\n", res.Mispredicts)
+	fmt.Printf("ssp:          %d chk taken, %d spawns, %d ignored\n", res.ChkTaken, res.Spawns, res.SpawnsIgnored)
+	if res.Hier.PrefetchIssued > 0 {
+		fmt.Printf("prefetch:     %d issued, %d useful (accuracy %.2f), %d dropped\n",
+			res.Hier.PrefetchIssued, res.Hier.PrefetchUseful,
+			res.Hier.PrefetchAccuracy(), res.Hier.DroppedPrefetches)
+	}
+	if len(res.SpecActiveHist) > 0 && res.Spawns > 0 {
+		fmt.Printf("spec contexts active (cycles): ")
+		for k, c := range res.SpecActiveHist {
+			fmt.Printf("%d:%d ", k, c)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("breakdown:\n")
+	for cat := sim.Category(0); cat < sim.NumCategories; cat++ {
+		fmt.Printf("  %-11s %12d (%5.1f%%)\n", cat, res.Breakdown[cat],
+			100*float64(res.Breakdown[cat])/float64(res.Cycles))
+	}
+	if loads {
+		type row struct {
+			id int
+			s  *mem.LoadStat
+		}
+		var rows []row
+		for id, s := range res.Hier.ByLoad {
+			rows = append(rows, row{id, s})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].s.MissCycles > rows[j].s.MissCycles })
+		fmt.Printf("loads (by miss cycles):\n")
+		for i, r := range rows {
+			if i >= 20 {
+				break
+			}
+			fmt.Printf("  id=%-5d acc=%-9d missrate=%.3f misscycles=%-10d L2=%d/%d L3=%d/%d Mem=%d/%d\n",
+				r.id, r.s.Accesses, r.s.L1MissRate(), r.s.MissCycles,
+				r.s.Hits[mem.L2][0], r.s.Hits[mem.L2][1],
+				r.s.Hits[mem.L3][0], r.s.Hits[mem.L3][1],
+				r.s.Hits[mem.Mem][0], r.s.Hits[mem.Mem][1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ssp/internal/ir"
+	"ssp/internal/workloads"
+)
+
+func TestSimrunOnBenchAndFile(t *testing.T) {
+	if err := run("", "mcf", 500, "in-order", true, true); err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := workloads.ByName("vpr")
+	p, _ := spec.Build(512)
+	path := filepath.Join(t.TempDir(), "vpr.ssp")
+	if err := os.WriteFile(path, []byte(ir.Format(p)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", 0, "ooo", true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimrunErrors(t *testing.T) {
+	if err := run("", "", 0, "in-order", true, false); err == nil {
+		t.Fatal("accepted no input")
+	}
+	if err := run("", "mcf", 400, "bogus", true, false); err == nil {
+		t.Fatal("accepted bogus model")
+	}
+}

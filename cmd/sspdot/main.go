@@ -1,0 +1,79 @@
+// Command sspdot renders a program's analysis structures in Graphviz dot
+// syntax: the control-flow graph of a function (with loop annotations), or
+// the dependence graph of a region — the way the paper draws Figure 3.
+//
+// Usage:
+//
+//	sspdot -bench mcf -func main -what cfg
+//	sspdot -in prog.ssp -func main -what dep -block loop > dep.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ssp/internal/cfg"
+	"ssp/internal/cliutil"
+	"ssp/internal/dep"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "input assembly file")
+		bench = flag.String("bench", "", "built-in benchmark name")
+		scale = flag.Int("scale", 1000, "benchmark scale")
+		fn    = flag.String("func", "main", "function to render")
+		what  = flag.String("what", "cfg", "what to render: cfg or dep")
+		block = flag.String("block", "", "for -what dep: restrict to this block's instructions (default: whole function)")
+	)
+	flag.Parse()
+	if err := run(*in, *bench, *scale, *fn, *what, *block); err != nil {
+		fmt.Fprintln(os.Stderr, "sspdot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, bench string, scale int, fnName, what, block string) error {
+	p, err := cliutil.LoadProgram(in, bench, scale)
+	if err != nil {
+		return err
+	}
+	f := p.FuncByName(fnName)
+	if f == nil {
+		return fmt.Errorf("function %q not found", fnName)
+	}
+	g, err := cfg.Build(f)
+	if err != nil {
+		return err
+	}
+	dom := cfg.Dominators(g)
+	pdom := cfg.Postdominators(g)
+	lf := cfg.FindLoops(g, dom)
+	switch what {
+	case "cfg":
+		fmt.Print(g.Dot(lf))
+	case "dep":
+		dg := dep.Build(p, f, g, dom, pdom)
+		var nodes []int
+		if block == "" {
+			for n := range dg.Nodes {
+				nodes = append(nodes, n)
+			}
+		} else {
+			b := f.BlockByLabel(block)
+			if b == nil {
+				return fmt.Errorf("block %q not found in %s", block, fnName)
+			}
+			for _, inr := range b.Instrs {
+				if n := dg.NodeByID(inr.ID); n >= 0 {
+					nodes = append(nodes, n)
+				}
+			}
+		}
+		fmt.Print(dg.Dot(fnName, nodes))
+	default:
+		return fmt.Errorf("unknown -what %q (want cfg or dep)", what)
+	}
+	return nil
+}

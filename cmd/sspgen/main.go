@@ -1,0 +1,108 @@
+// Command sspgen is the post-pass binary adaptation tool: given a program
+// and its profile, it emits the SSP-enhanced binary with p-slices attached
+// (the tool of Figure 1 and §3).
+//
+// Usage:
+//
+//	sspgen -in prog.ssp -profile prog.prof.json -out prog.ssp.enhanced
+//	sspgen -bench mcf -out mcf.enhanced   (profiles internally)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ssp/internal/cliutil"
+	"ssp/internal/ir"
+	"ssp/internal/profile"
+	"ssp/internal/ssp"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input assembly file")
+		bench    = flag.String("bench", "", "built-in benchmark name")
+		scale    = flag.Int("scale", 0, "benchmark scale (0 = default)")
+		profPath = flag.String("profile", "", "profile JSON from sspprof (omit to profile internally on the in-order model)")
+		tiny     = flag.Bool("tiny", false, "use the scaled-down test memory system when profiling internally")
+		out      = flag.String("out", "", "output assembly path (default stdout)")
+
+		cutoff  = flag.Float64("cutoff", 0.9, "delinquent-load miss-cycle coverage cutoff")
+		chain   = flag.Bool("chaining", true, "allow chaining SP")
+		rotate  = flag.Bool("rotate", true, "enable dependence-reduction scheduling")
+		predict = flag.Bool("predict", true, "enable spawn-condition prediction")
+		spec    = flag.Bool("speculate", true, "enable control-flow speculative slicing")
+	)
+	flag.Parse()
+	if err := run(*in, *bench, *scale, *profPath, *tiny, *out, *cutoff, *chain, *rotate, *predict, *spec); err != nil {
+		fmt.Fprintln(os.Stderr, "sspgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, bench string, scale int, profPath string, tiny bool, out string,
+	cutoff float64, chain, rotate, predict, spec bool) error {
+	p, err := cliutil.LoadProgram(in, bench, scale)
+	if err != nil {
+		return err
+	}
+	var pr *profile.Profile
+	if profPath != "" {
+		f, err := os.Open(profPath)
+		if err != nil {
+			return err
+		}
+		pr, err = profile.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		cfg, err := cliutil.MachineConfig("in-order", tiny)
+		if err != nil {
+			return err
+		}
+		if pr, err = profile.Collect(p, cfg); err != nil {
+			return err
+		}
+	}
+	opt := ssp.DefaultOptions()
+	opt.DelinquentCutoff = cutoff
+	opt.Chaining = chain
+	opt.LoopRotation = rotate
+	opt.CondPrediction = predict
+	opt.SpeculativeSlicing = spec
+	label := bench
+	if label == "" {
+		label = in
+	}
+	enh, rep, err := ssp.Adapt(p, pr, opt, label)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := fmt.Fprint(w, ir.Format(enh)); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "targets %v\n", rep.DelinquentLoads)
+	fmt.Fprintf(os.Stderr, "slices: %d (%d interprocedural), avg size %.1f, avg live-ins %.1f\n",
+		rep.NumSlices(), rep.NumInterproc(), rep.AvgSize(), rep.AvgLiveIns())
+	for _, s := range rep.Slices {
+		model := "basic"
+		if s.Chaining {
+			model = "chaining"
+		}
+		fmt.Fprintf(os.Stderr, "  %-24s %-8s size=%-3d live-ins=%d predicted=%v slack csp=%.0f bsp=%.0f trips=%.0f\n",
+			s.Region, model, s.Size, s.LiveIns, s.Predicted, s.SlackCSP, s.SlackBSP, s.TripCount)
+	}
+	return nil
+}

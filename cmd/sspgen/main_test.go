@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ssp/internal/ir"
+	"ssp/internal/workloads"
+)
+
+func TestRunFilePipeline(t *testing.T) {
+	dir := t.TempDir()
+	spec, err := workloads.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := spec.Build(800)
+	in := filepath.Join(dir, "mcf.ssp")
+	if err := os.WriteFile(in, []byte(ir.Format(p)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "mcf.enh.ssp")
+	if err := run(in, "", 0, "", true, out, 0.9, true, true, true, true); err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "chk.c ssp_stub_") {
+		t.Fatal("output lacks trigger")
+	}
+	enh, err := ir.Parse(string(text))
+	if err != nil {
+		t.Fatalf("output does not parse: %v", err)
+	}
+	if enh.FuncByName("main") == nil {
+		t.Fatal("output lost main")
+	}
+}
+
+func TestRunBenchShortcut(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.ssp")
+	if err := run("", "vpr", 512, "", true, out, 0.9, true, true, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", 0, "", true, "", 0.9, true, true, true, true); err == nil {
+		t.Fatal("accepted neither -in nor -bench")
+	}
+	if err := run("/no/such/file.ssp", "", 0, "", true, "", 0.9, true, true, true, true); err == nil {
+		t.Fatal("accepted missing input")
+	}
+	if err := run("", "mcf", 800, "/no/such/profile.json", true, "", 0.9, true, true, true, true); err == nil {
+		t.Fatal("accepted missing profile")
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ssp/internal/profile"
+)
+
+func TestProfilePipeline(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "p.json")
+	if err := run("", "mcf", 800, "in-order", true, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pr, err := profile.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Cycles == 0 || len(pr.Loads) == 0 {
+		t.Fatalf("profile empty: cycles=%d loads=%d", pr.Cycles, len(pr.Loads))
+	}
+	if len(pr.DelinquentLoads(0.9, 10)) == 0 {
+		t.Fatal("no delinquent loads in saved profile")
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	if err := run("", "nosuch", 0, "in-order", true, ""); err == nil {
+		t.Fatal("accepted unknown benchmark")
+	}
+	if err := run("", "mcf", 400, "warpdrive", true, ""); err == nil {
+		t.Fatal("accepted unknown model")
+	}
+}

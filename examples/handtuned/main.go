@@ -1,0 +1,58 @@
+// Automatic vs. hand adaptation (§4.5): on mcf and health, compare the
+// post-pass tool's binaries against the manually adapted versions (which
+// unroll the chaining slice and inline multiple levels of the pointee walk),
+// on both machine models.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ssp/internal/handtuned"
+	"ssp/internal/profile"
+	"ssp/internal/sim"
+	"ssp/internal/ssp"
+	"ssp/internal/workloads"
+)
+
+func main() {
+	for _, name := range []string{"mcf", "health"} {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog, _ := spec.Build(spec.Scale / 3)
+		prof, err := profile.Collect(prog, sim.DefaultInOrder())
+		if err != nil {
+			log.Fatal(err)
+		}
+		auto, _, err := ssp.Adapt(prog, prof, ssp.DefaultOptions(), name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hand, err := handtuned.Adapt(name, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", name)
+		for _, cfg := range []sim.Config{sim.DefaultInOrder(), sim.DefaultOOO()} {
+			base, err := sim.RunProgram(cfg, prog)
+			if err != nil {
+				log.Fatal(err)
+			}
+			autoRes, err := sim.RunProgram(cfg, auto)
+			if err != nil {
+				log.Fatal(err)
+			}
+			handRes, err := sim.RunProgram(cfg, hand)
+			if err != nil {
+				log.Fatal(err)
+			}
+			autoSp := float64(base.Cycles) / float64(autoRes.Cycles)
+			handSp := float64(base.Cycles) / float64(handRes.Cycles)
+			fmt.Printf("  %-9s auto %.2fx   hand %.2fx   tool keeps %.0f%% of hand's speedup\n",
+				cfg.Model.String()+":", autoSp, handSp, 100*autoSp/handSp)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,83 @@
+// The paper's running example end to end: the mcf primal_bea_mpp kernel
+// (Figure 3), its automatically extracted chaining slice (Figure 5), the
+// enhanced binary layout (Figure 7), and the measured effect on both machine
+// models.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ssp/internal/ir"
+	"ssp/internal/profile"
+	"ssp/internal/sim"
+	"ssp/internal/ssp"
+	"ssp/internal/workloads"
+)
+
+func main() {
+	spec, err := workloads.ByName("mcf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, _ := spec.Build(20000)
+
+	fmt.Println("== Figure 3: the pricing loop (simplified excerpt) ==")
+	printBlock(prog, "main", "loop")
+
+	cfg := sim.DefaultInOrder()
+	prof, err := profile.Collect(prog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dels := prof.DelinquentLoads(0.9, 10)
+	fmt.Printf("\ndelinquent loads: %v (of %d static loads profiled)\n", dels, len(prof.Loads))
+	for _, id := range dels {
+		_, _, in := prog.InstrByID(id)
+		fmt.Printf("  id=%-4d %-28s expected latency %.0f cycles\n",
+			id, in.String(), prof.ExpectedLoadLatency(id))
+	}
+
+	enh, rep, err := ssp.Adapt(prog, prof, ssp.DefaultOptions(), "mcf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== Figure 7 layout: trigger, stub block, slice block ==")
+	printBlock(enh, "main", "loop") // note the chk.c replacing the nop
+	for _, b := range enh.FuncByName("main").Blocks {
+		if strings.HasPrefix(b.Label, "ssp_") {
+			printBlockPtr(b)
+		}
+	}
+	for _, s := range rep.Slices {
+		fmt.Printf("\nslice metrics: size=%d live-ins=%d chaining=%v slack rates: csp=%.0f bsp=%.0f\n",
+			s.Size, s.LiveIns, s.Chaining, s.SlackCSP, s.SlackBSP)
+	}
+
+	fmt.Println("\n== Measured on both research Itanium models ==")
+	for _, mc := range []sim.Config{sim.DefaultInOrder(), sim.DefaultOOO()} {
+		base, err := sim.RunProgram(mc, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fast, err := sim.RunProgram(mc, enh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s base %9d cycles   ssp %9d cycles   speedup %.2fx   (%d chains, %d spawns)\n",
+			mc.Model.String()+":", base.Cycles, fast.Cycles,
+			float64(base.Cycles)/float64(fast.Cycles), fast.ChkTaken, fast.Spawns)
+	}
+}
+
+func printBlock(p *ir.Program, fn, label string) {
+	printBlockPtr(p.FuncByName(fn).BlockByLabel(label))
+}
+
+func printBlockPtr(b *ir.Block) {
+	fmt.Printf("%s:\n", b.Label)
+	for _, in := range b.Instrs {
+		fmt.Printf("\t%s\n", in)
+	}
+}

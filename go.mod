@@ -1,0 +1,3 @@
+module ssp
+
+go 1.22

@@ -1,0 +1,426 @@
+package cfg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ssp/internal/ir"
+)
+
+// diamond builds:  entry -> {left,right} -> join -> exit
+func diamond(t *testing.T) *ir.Func {
+	t.Helper()
+	p := ir.NewProgram("f")
+	fb := ir.NewFunc(p, "f")
+	e := fb.Block("entry")
+	e.CmpI(ir.CondLT, 6, 7, 14, 10)
+	e.On(6).Br("right")
+	l := fb.Block("left")
+	l.AddI(15, 15, 1)
+	l.Br("join")
+	r := fb.Block("right")
+	r.AddI(15, 15, 2)
+	j := fb.Block("join")
+	j.Halt()
+	_ = l
+	_ = r
+	_ = j
+	return fb.F
+}
+
+// nestedLoops builds a doubly nested loop:
+// entry -> outer { inner { body } } -> exit
+func nestedLoops(t *testing.T) *ir.Func {
+	t.Helper()
+	p := ir.NewProgram("f")
+	fb := ir.NewFunc(p, "f")
+	e := fb.Block("entry")
+	e.MovI(14, 0)
+	outer := fb.Block("outer")
+	outer.MovI(15, 0)
+	inner := fb.Block("inner")
+	inner.AddI(15, 15, 1)
+	inner.CmpI(ir.CondLT, 6, 7, 15, 10)
+	inner.On(6).Br("inner")
+	latch := fb.Block("latch")
+	latch.AddI(14, 14, 1)
+	latch.CmpI(ir.CondLT, 8, 9, 14, 10)
+	latch.On(8).Br("outer")
+	exit := fb.Block("exit")
+	exit.Halt()
+	return fb.F
+}
+
+func TestBuildDiamond(t *testing.T) {
+	g, err := Build(diamond(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{2, 1}, {3}, {3}, nil}
+	for b, ws := range want {
+		if len(g.Succs[b]) != len(ws) {
+			t.Fatalf("succs[%d] = %v, want %v", b, g.Succs[b], ws)
+		}
+		for i := range ws {
+			if g.Succs[b][i] != ws[i] {
+				t.Fatalf("succs[%d] = %v, want %v", b, g.Succs[b], ws)
+			}
+		}
+	}
+	if len(g.Preds[3]) != 2 {
+		t.Fatalf("preds[join] = %v", g.Preds[3])
+	}
+}
+
+func TestBuildRejectsMidBlockBranch(t *testing.T) {
+	p := ir.NewProgram("f")
+	fb := ir.NewFunc(p, "f")
+	b := fb.Block("entry")
+	b.Br("entry")
+	b.Nop()
+	if _, err := Build(fb.F); err == nil {
+		t.Fatal("Build accepted mid-block branch")
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	g, _ := Build(diamond(t))
+	d := Dominators(g)
+	// entry dominates everything; join's idom is entry.
+	if d.IDom[1] != 0 || d.IDom[2] != 0 || d.IDom[3] != 0 {
+		t.Fatalf("idom = %v", d.IDom)
+	}
+	if !d.Dominates(0, 3) || d.Dominates(1, 3) || !d.Dominates(3, 3) {
+		t.Fatal("Dominates wrong on diamond")
+	}
+}
+
+func TestPostdominatorsDiamond(t *testing.T) {
+	g, _ := Build(diamond(t))
+	pd := Postdominators(g)
+	// join postdominates everything; its ipdom is the virtual exit (4).
+	if pd.IDom[0] != 3 || pd.IDom[1] != 3 || pd.IDom[2] != 3 || pd.IDom[3] != 4 {
+		t.Fatalf("ipdom = %v", pd.IDom)
+	}
+	if !pd.Dominates(3, 0) {
+		t.Fatal("join should postdominate entry")
+	}
+}
+
+func TestLoopsNested(t *testing.T) {
+	f := nestedLoops(t)
+	g, _ := Build(f)
+	d := Dominators(g)
+	lf := FindLoops(g, d)
+	if len(lf.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(lf.Loops))
+	}
+	outer, inner := lf.Loops[0], lf.Loops[1]
+	if len(outer.Blocks) < len(inner.Blocks) {
+		outer, inner = inner, outer
+	}
+	if outer.Header != 1 || inner.Header != 2 {
+		t.Fatalf("headers: outer=%d inner=%d", outer.Header, inner.Header)
+	}
+	if inner.Parent != outer || inner.Depth != 2 || outer.Depth != 1 {
+		t.Fatalf("nesting wrong: parent=%v depths=%d,%d", inner.Parent, outer.Depth, inner.Depth)
+	}
+	if got := lf.Innermost(2); got != inner {
+		t.Fatalf("Innermost(inner header) = %v", got)
+	}
+	if got := lf.Innermost(3); got != outer {
+		t.Fatalf("Innermost(latch) = %v", got)
+	}
+	if lf.Innermost(0) != nil || lf.Innermost(4) != nil {
+		t.Fatal("entry/exit should be in no loop")
+	}
+}
+
+func TestRegionsNested(t *testing.T) {
+	f := nestedLoops(t)
+	fr, err := BuildRegions(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// proc + 2 loops x (loop + body) = 5 regions.
+	if len(fr.All) != 5 {
+		t.Fatalf("got %d regions, want 5", len(fr.All))
+	}
+	inner := fr.Innermost(2)
+	if inner.Kind != RegionLoopBody || inner.Loop.Header != 2 {
+		t.Fatalf("innermost(2) = %v", inner)
+	}
+	// Chain: inner body -> inner loop -> outer body -> outer loop -> proc.
+	chain := []RegionKind{RegionLoopBody, RegionLoop, RegionLoopBody, RegionLoop, RegionProc}
+	r := inner
+	for i, k := range chain {
+		if r == nil || r.Kind != k {
+			t.Fatalf("chain[%d] = %v, want kind %v", i, r, k)
+		}
+		r = r.Parent
+	}
+	if r != nil {
+		t.Fatal("proc region must be the root")
+	}
+}
+
+func TestForestCallEdges(t *testing.T) {
+	p := ir.NewProgram("main")
+	callee := ir.NewFunc(p, "walk")
+	cb := callee.Block("entry")
+	cb.Ret(0)
+	fb := ir.NewFunc(p, "main")
+	e := fb.Block("entry")
+	e.MovI(14, 0)
+	loop := fb.Block("loop")
+	loop.Call("walk")
+	loop.AddI(14, 14, 1)
+	loop.CmpI(ir.CondLT, 6, 7, 14, 10)
+	loop.On(6).Br("loop")
+	x := fb.Block("exit")
+	x.Halt()
+	fo, err := BuildForest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := fo.Callers["walk"]
+	if len(sites) != 1 {
+		t.Fatalf("callers(walk) = %d, want 1", len(sites))
+	}
+	if sites[0].Region.Kind != RegionLoopBody {
+		t.Fatalf("call site region = %v, want loop body", sites[0].Region)
+	}
+	dc := fo.DominantCaller("walk", map[int]uint64{})
+	if dc == nil || dc.Caller.Name != "main" {
+		t.Fatalf("DominantCaller = %v", dc)
+	}
+	if fo.DominantCaller("nosuch", nil) != nil {
+		t.Fatal("DominantCaller invented a caller")
+	}
+}
+
+func TestAddIndirectEdge(t *testing.T) {
+	p := ir.NewProgram("main")
+	callee := ir.NewFunc(p, "target")
+	callee.Block("entry").Ret(0)
+	fb := ir.NewFunc(p, "main")
+	e := fb.Block("entry")
+	e.MovBRFunc(2, "target")
+	call := e.CallB(0, 2)
+	e.Halt()
+	fo, err := BuildForest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fo.Callers["target"]) != 0 {
+		t.Fatal("indirect call should not be statically resolved")
+	}
+	fo.AddIndirectEdge(call.ID, "target")
+	if len(fo.Callers["target"]) != 1 {
+		t.Fatal("AddIndirectEdge did not record the edge")
+	}
+}
+
+// randomGraph builds a random function of n blocks where each block ends in
+// a conditional or unconditional branch to random targets (guaranteeing
+// block 0 is the entry and at least one halt exists).
+func randomGraph(r *rand.Rand, n int) *ir.Func {
+	p := ir.NewProgram("f")
+	fb := ir.NewFunc(p, "f")
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	builders := make([]*ir.BlockBuilder, n)
+	for i := range labels {
+		builders[i] = fb.Block(labels[i])
+	}
+	for i, bb := range builders {
+		bb.AddI(14, 14, 1)
+		switch r.Intn(4) {
+		case 0: // halt
+			bb.Halt()
+		case 1: // unconditional branch
+			bb.Br(labels[r.Intn(n)])
+		case 2: // conditional branch (fallthrough + target)
+			if i == n-1 {
+				bb.Br(labels[r.Intn(n)])
+			} else {
+				bb.On(6).Br(labels[r.Intn(n)])
+			}
+		case 3: // fallthrough
+			if i == n-1 {
+				bb.Halt()
+			}
+		}
+	}
+	return fb.F
+}
+
+// bruteDominates computes dominance by path enumeration: a dominates b iff
+// removing a makes b unreachable from entry (or a == b).
+func bruteDominates(g *Graph, a, b int) bool {
+	if a == b {
+		return true
+	}
+	seen := make([]bool, len(g.Succs))
+	var stack []int
+	if a != 0 {
+		stack = append(stack, 0)
+		seen[0] = true
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Succs[x] {
+			if s == a || seen[s] {
+				continue
+			}
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	return !seen[b]
+}
+
+// TestQuickDominators: property — the CHK dominator tree agrees with
+// brute-force dominance on random CFGs.
+func TestQuickDominators(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fn := randomGraph(r, 2+r.Intn(14))
+		g, err := Build(fn)
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		d := Dominators(g)
+		reach := g.Reachable()
+		for a := range g.Succs {
+			for b := range g.Succs {
+				if !reach[a] || !reach[b] {
+					continue
+				}
+				want := bruteDominates(g, a, b)
+				if got := d.Dominates(a, b); got != want {
+					t.Logf("seed %d: Dominates(%d,%d)=%v want %v", seed, a, b, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLoops: property — every loop header dominates all loop members,
+// every latch is a member, and innermost() agrees with membership.
+func TestQuickLoops(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fn := randomGraph(r, 2+r.Intn(14))
+		g, err := Build(fn)
+		if err != nil {
+			return false
+		}
+		d := Dominators(g)
+		lf := FindLoops(g, d)
+		for _, l := range lf.Loops {
+			for _, b := range l.Blocks {
+				if !d.Dominates(l.Header, b) {
+					t.Logf("seed %d: header %d does not dominate member %d", seed, l.Header, b)
+					return false
+				}
+			}
+			for _, latch := range l.Latches {
+				if !l.Contains(latch) {
+					return false
+				}
+			}
+			if l.Parent != nil && !l.Parent.Contains(l.Header) {
+				return false
+			}
+		}
+		for b := range g.Succs {
+			il := lf.Innermost(b)
+			if il != nil && !il.Contains(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPostdominators: property — on random CFGs, a block with a single
+// successor is postdominated by that successor, and Dominates is reflexive
+// and antisymmetric for reachable blocks.
+func TestQuickPostdominators(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fn := randomGraph(r, 2+r.Intn(14))
+		g, err := Build(fn)
+		if err != nil {
+			return false
+		}
+		pd := Postdominators(g)
+		// Postdominance is only meaningful when some reachable block
+		// exits; otherwise the computation anchors a virtual exit at the
+		// entry and path properties don't apply.
+		reach := g.Reachable()
+		hasExit := false
+		for b := range g.Succs {
+			if reach[b] && len(g.Succs[b]) == 0 {
+				hasExit = true
+			}
+		}
+		if !hasExit {
+			return true
+		}
+		for b := range g.Succs {
+			if pd.Depth(b) < 0 {
+				continue // cannot reach exit
+			}
+			if !pd.Dominates(b, b) {
+				return false
+			}
+			if len(g.Succs[b]) == 1 {
+				s := g.Succs[b][0]
+				if pd.Depth(s) >= 0 && !pd.Dominates(s, b) {
+					t.Logf("seed %d: sole successor %d should postdominate %d", seed, s, b)
+					return false
+				}
+			}
+			for c := range g.Succs {
+				if c != b && pd.Dominates(b, c) && pd.Dominates(c, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCFGDotRendering(t *testing.T) {
+	f := nestedLoops(t)
+	g, _ := Build(f)
+	lf := FindLoops(g, Dominators(g))
+	dot := g.Dot(lf)
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "back") {
+		t.Fatalf("dot output missing back edges:\n%s", dot)
+	}
+	for _, b := range f.Blocks {
+		if !strings.Contains(dot, b.Label) {
+			t.Fatalf("dot output missing block %s", b.Label)
+		}
+	}
+}

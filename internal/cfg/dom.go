@@ -1,0 +1,157 @@
+package cfg
+
+// DomTree holds an (immediate-)dominator tree computed by the
+// Cooper-Harvey-Kennedy iterative algorithm.
+type DomTree struct {
+	// IDom[b] is the immediate dominator of block b, or -1 for the root
+	// and for unreachable blocks. IDom[root] == root by CHK convention is
+	// normalized to -1 here.
+	IDom []int
+	// Children[b] lists the blocks immediately dominated by b.
+	Children [][]int
+	// depth[b] is the depth of b in the tree (root = 0, unreachable = -1).
+	depth []int
+	root  int
+}
+
+// Root returns the tree's root block.
+func (d *DomTree) Root() int { return d.root }
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *DomTree) Dominates(a, b int) bool {
+	if d.depth[b] < 0 || d.depth[a] < 0 {
+		return false
+	}
+	for d.depth[b] > d.depth[a] {
+		b = d.IDom[b]
+	}
+	return a == b
+}
+
+// Depth returns b's depth in the dominator tree, or -1 if unreachable.
+func (d *DomTree) Depth(b int) int { return d.depth[b] }
+
+// Dominators computes the dominator tree of g rooted at the entry block.
+func Dominators(g *Graph) *DomTree {
+	return domTree(len(g.Succs), 0, g.Preds, g.RPO())
+}
+
+// Postdominators computes the postdominator tree of g. A virtual exit node
+// (index len(blocks)) is appended, with an edge from every block that has no
+// successors. Blocks on paths that never reach an exit (infinite loops) are
+// additionally connected from their loop's members' perspective by treating
+// any block unreachable in the reverse graph as an exit predecessor; their
+// postdominator information remains conservative (-1).
+func Postdominators(g *Graph) *DomTree {
+	n := len(g.Succs)
+	exit := n
+	// For the dominator computation on the reverse graph rooted at exit:
+	// predecessors-in-reverse-graph(b) = successors-in-forward-graph(b),
+	// plus exit is a reverse-predecessor of every exit block.
+	revPreds := make([][]int, n+1)
+	exitless := true
+	for b := 0; b < n; b++ {
+		revPreds[b] = append(revPreds[b], g.Succs[b]...)
+		if len(g.Succs[b]) == 0 {
+			revPreds[b] = append(revPreds[b], exit)
+			exitless = false
+		}
+	}
+	if exitless && n > 0 {
+		// Degenerate: no exit blocks at all; anchor the virtual exit to
+		// the entry so the computation terminates.
+		revPreds[0] = append(revPreds[0], exit)
+	}
+	// Reverse-graph RPO from exit.
+	seen := make([]bool, n+1)
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		if b != exit {
+			for _, p := range g.Preds[b] {
+				if !seen[p] {
+					dfs(p)
+				}
+			}
+		} else {
+			for x := 0; x < n; x++ {
+				if len(g.Succs[x]) == 0 && !seen[x] {
+					dfs(x)
+				}
+			}
+			if exitless && n > 0 && !seen[0] {
+				dfs(0)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(exit)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return domTree(n+1, exit, revPreds, post)
+}
+
+// domTree runs the CHK iterative dominator algorithm.
+func domTree(n, root int, preds [][]int, rpo []int) *DomTree {
+	idom := make([]int, n)
+	order := make([]int, n) // RPO number, -1 if unreachable
+	for i := range idom {
+		idom[i] = -1
+		order[i] = -1
+	}
+	for i, b := range rpo {
+		order[b] = i
+	}
+	idom[root] = root
+	intersect := func(a, b int) int {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == root {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds[b] {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[root] = -1
+	d := &DomTree{IDom: idom, Children: make([][]int, n), depth: make([]int, n), root: root}
+	for i := range d.depth {
+		d.depth[i] = -1
+	}
+	d.depth[root] = 0
+	// Compute depths in RPO (parents precede children in RPO for dom trees).
+	for _, b := range rpo {
+		if b == root || idom[b] == -1 {
+			continue
+		}
+		d.Children[idom[b]] = append(d.Children[idom[b]], b)
+		d.depth[b] = d.depth[idom[b]] + 1
+	}
+	return d
+}

@@ -1,0 +1,36 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the CFG in Graphviz dot syntax, clustering loop bodies and
+// annotating block labels — a debugging aid for region-graph questions.
+func (g *Graph) Dot(lf *LoopForest) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", g.F.Name)
+	sb.WriteString("\tnode [shape=box, fontname=\"monospace\"];\n")
+	for _, b := range g.F.Blocks {
+		extra := ""
+		if lf != nil {
+			if l := lf.Innermost(b.Index); l != nil {
+				extra = fmt.Sprintf("\\nloop@b%d depth %d", l.Header, l.Depth)
+			}
+		}
+		fmt.Fprintf(&sb, "\tb%d [label=\"%s (%d instrs)%s\"];\n", b.Index, b.Label, len(b.Instrs), extra)
+	}
+	for bi, succs := range g.Succs {
+		for _, s := range succs {
+			attr := ""
+			if lf != nil {
+				if l := lf.Innermost(s); l != nil && l.Header == s && l.Contains(bi) {
+					attr = " [color=red, label=\"back\"]"
+				}
+			}
+			fmt.Fprintf(&sb, "\tb%d -> b%d%s;\n", bi, s, attr)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,123 @@
+package cfg
+
+import "sort"
+
+// Loop is a natural loop: the header plus all blocks that can reach a back
+// edge without passing through the header.
+type Loop struct {
+	Header int
+	// Blocks holds the member block indices (including the header), sorted.
+	Blocks []int
+	// In[b] reports membership for O(1) queries.
+	In []bool
+	// Parent is the innermost enclosing loop, or nil.
+	Parent *Loop
+	// Children are the loops immediately nested inside this one.
+	Children []*Loop
+	// Depth is the nesting depth; outermost loops have depth 1.
+	Depth int
+	// Latches are the sources of the loop's back edges.
+	Latches []int
+}
+
+// Contains reports whether block b is a member of the loop.
+func (l *Loop) Contains(b int) bool { return b < len(l.In) && l.In[b] }
+
+// LoopForest is the set of natural loops of a function, with nesting.
+type LoopForest struct {
+	// Loops lists every loop, outermost first within a nest.
+	Loops []*Loop
+	// innermost[b] is the innermost loop containing block b, or nil.
+	innermost []*Loop
+}
+
+// Innermost returns the innermost loop containing block b, or nil.
+func (lf *LoopForest) Innermost(b int) *Loop {
+	if b < len(lf.innermost) {
+		return lf.innermost[b]
+	}
+	return nil
+}
+
+// FindLoops detects the natural loops of g using back edges in the dominator
+// tree (an edge latch->header where header dominates latch). Back edges
+// sharing a header are merged into one loop, the classic convention.
+func FindLoops(g *Graph, dom *DomTree) *LoopForest {
+	n := len(g.Succs)
+	byHeader := map[int]*Loop{}
+	reach := g.Reachable()
+	for b := 0; b < n; b++ {
+		if !reach[b] {
+			continue
+		}
+		for _, s := range g.Succs[b] {
+			if dom.Dominates(s, b) { // back edge b->s
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, In: make([]bool, n)}
+					l.In[s] = true
+					byHeader[s] = l
+				}
+				l.Latches = append(l.Latches, b)
+				// Collect the natural-loop body by walking predecessors
+				// from the latch until the header. Blocks unreachable
+				// from the entry are excluded: they can have edges into
+				// the loop but are not part of the executing program.
+				stack := []int{b}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if l.In[x] || !reach[x] {
+						continue
+					}
+					l.In[x] = true
+					for _, p := range g.Preds[x] {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	lf := &LoopForest{innermost: make([]*Loop, n)}
+	for _, l := range byHeader {
+		for b := 0; b < n; b++ {
+			if l.In[b] {
+				l.Blocks = append(l.Blocks, b)
+			}
+		}
+		lf.Loops = append(lf.Loops, l)
+	}
+	// Deterministic order: by size descending (outer before inner), then
+	// by header index.
+	sort.Slice(lf.Loops, func(i, j int) bool {
+		a, b := lf.Loops[i], lf.Loops[j]
+		if len(a.Blocks) != len(b.Blocks) {
+			return len(a.Blocks) > len(b.Blocks)
+		}
+		return a.Header < b.Header
+	})
+	// Nesting: the innermost strictly-containing loop is the parent. With
+	// the size-descending order, scanning previous loops finds it.
+	for i, l := range lf.Loops {
+		for j := i - 1; j >= 0; j-- {
+			outer := lf.Loops[j]
+			if outer.Contains(l.Header) && outer != l {
+				l.Parent = outer
+				outer.Children = append(outer.Children, l)
+				break
+			}
+		}
+		if l.Parent != nil {
+			l.Depth = l.Parent.Depth + 1
+		} else {
+			l.Depth = 1
+		}
+	}
+	// innermost[b]: loops are outer-first, so later (smaller) loops win.
+	for _, l := range lf.Loops {
+		for _, b := range l.Blocks {
+			lf.innermost[b] = l
+		}
+	}
+	return lf
+}

@@ -1,0 +1,232 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"ssp/internal/ir"
+)
+
+// RegionKind distinguishes the region flavours of §3.1.1: "A region
+// represents a loop, a loop body, or a procedure in the program."
+type RegionKind uint8
+
+const (
+	// RegionProc is a whole procedure.
+	RegionProc RegionKind = iota
+	// RegionLoop is a natural loop viewed across its iterations (trip
+	// count > 1); the unit chaining SP parallelizes over.
+	RegionLoop
+	// RegionLoopBody is a single iteration of a loop.
+	RegionLoopBody
+)
+
+func (k RegionKind) String() string {
+	switch k {
+	case RegionProc:
+		return "proc"
+	case RegionLoop:
+		return "loop"
+	case RegionLoopBody:
+		return "body"
+	}
+	return fmt.Sprintf("region%d", uint8(k))
+}
+
+// Region is a node of the hierarchical region graph: "a region graph is a
+// hierarchical program representation that uses edges to connect a parent
+// region to its child regions, that is, from callers to callees, and from an
+// outer scope to an inner scope" (§3.1.1).
+type Region struct {
+	Kind RegionKind
+	F    *ir.Func
+	// Loop is set for RegionLoop/RegionLoopBody.
+	Loop *Loop
+	// Blocks are the member block indices within F (for a proc region, all
+	// blocks; for loop regions, the loop's blocks).
+	Blocks []int
+	// Parent is the enclosing region within the same function (loop body
+	// -> loop -> outer loop body -> ... -> proc); nil for proc regions.
+	// Cross-procedure parents (callers) are edges in the Forest, since a
+	// procedure has one region but many callers.
+	Parent *Region
+	// Children are the immediately nested regions within the function.
+	Children []*Region
+	// CallSites lists the call instructions whose blocks belong to this
+	// region but to none of its child loop regions (immediate calls).
+	CallSites []*ir.Instr
+	// TripCount is the estimated iteration count for loop regions,
+	// populated from block profiles by the SSP tool (§3.4.1). 1 for
+	// non-loop regions.
+	TripCount float64
+}
+
+// String renders a short region name for diagnostics.
+func (r *Region) String() string {
+	if r.Loop != nil {
+		return fmt.Sprintf("%s:%s@b%d", r.F.Name, r.Kind, r.Loop.Header)
+	}
+	return fmt.Sprintf("%s:%s", r.F.Name, r.Kind)
+}
+
+// FuncRegions holds the region tree of one function plus lookup structures.
+type FuncRegions struct {
+	F    *ir.Func
+	G    *Graph
+	Dom  *DomTree
+	PDom *DomTree
+	LF   *LoopForest
+	// Proc is the root procedure region.
+	Proc *Region
+	// All lists every region of the function, root first.
+	All []*Region
+	// innermost[b] is the innermost region containing block b.
+	innermost []*Region
+}
+
+// Innermost returns the innermost region containing block index b.
+func (fr *FuncRegions) Innermost(b int) *Region { return fr.innermost[b] }
+
+// BuildRegions computes CFG, dominators, postdominators, loops, and the
+// region tree of f.
+func BuildRegions(f *ir.Func) (*FuncRegions, error) {
+	g, err := Build(f)
+	if err != nil {
+		return nil, err
+	}
+	dom := Dominators(g)
+	pdom := Postdominators(g)
+	lf := FindLoops(g, dom)
+
+	fr := &FuncRegions{F: f, G: g, Dom: dom, PDom: pdom, LF: lf}
+	proc := &Region{Kind: RegionProc, F: f, TripCount: 1}
+	for _, b := range f.Blocks {
+		proc.Blocks = append(proc.Blocks, b.Index)
+	}
+	fr.Proc = proc
+	fr.All = append(fr.All, proc)
+
+	// Loop regions: each natural loop contributes a Loop region (across
+	// iterations) whose single child is its LoopBody region; inner loops
+	// hang off the body.
+	bodyOf := map[*Loop]*Region{}
+	for _, l := range lf.Loops {
+		loopR := &Region{Kind: RegionLoop, F: f, Loop: l, Blocks: l.Blocks, TripCount: 1}
+		bodyR := &Region{Kind: RegionLoopBody, F: f, Loop: l, Blocks: l.Blocks, TripCount: 1}
+		loopR.Children = []*Region{bodyR}
+		bodyR.Parent = loopR
+		bodyOf[l] = bodyR
+		fr.All = append(fr.All, loopR, bodyR)
+	}
+	for _, l := range lf.Loops {
+		loopR := bodyOf[l].Parent
+		if l.Parent != nil {
+			parent := bodyOf[l.Parent]
+			loopR.Parent = parent
+			parent.Children = append(parent.Children, loopR)
+		} else {
+			loopR.Parent = proc
+			proc.Children = append(proc.Children, loopR)
+		}
+	}
+	// Innermost region per block: the innermost loop's body, else proc.
+	fr.innermost = make([]*Region, len(f.Blocks))
+	for bi := range f.Blocks {
+		if l := lf.Innermost(bi); l != nil {
+			fr.innermost[bi] = bodyOf[l]
+		} else {
+			fr.innermost[bi] = proc
+		}
+	}
+	// Immediate call sites per region.
+	for _, b := range f.Blocks {
+		r := fr.innermost[b.Index]
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall || in.Op == ir.OpCallB {
+				r.CallSites = append(r.CallSites, in)
+			}
+		}
+	}
+	return fr, nil
+}
+
+// Forest is the program-wide region graph: per-function trees plus
+// caller->callee edges.
+type Forest struct {
+	P       *ir.Program
+	ByFunc  map[string]*FuncRegions
+	Callers map[string][]CallSite
+}
+
+// CallSite records one static call: the calling instruction, the region it
+// sits in, and the callee name ("" for unresolved indirect calls; the
+// profiler's dynamic call graph fills those in, §3.1.2).
+type CallSite struct {
+	Caller *ir.Func
+	Region *Region
+	Instr  *ir.Instr
+	Callee string
+}
+
+// BuildForest analyses every function of the program and records static
+// caller edges. Indirect-call targets resolved by profiling can be added
+// with AddIndirectEdge.
+func BuildForest(p *ir.Program) (*Forest, error) {
+	fo := &Forest{P: p, ByFunc: make(map[string]*FuncRegions), Callers: make(map[string][]CallSite)}
+	for _, f := range p.Funcs {
+		fr, err := BuildRegions(f)
+		if err != nil {
+			return nil, err
+		}
+		fo.ByFunc[f.Name] = fr
+	}
+	for _, f := range p.Funcs {
+		fr := fo.ByFunc[f.Name]
+		for _, b := range f.Blocks {
+			r := fr.Innermost(b.Index)
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall {
+					fo.Callers[in.Target] = append(fo.Callers[in.Target], CallSite{Caller: f, Region: r, Instr: in, Callee: in.Target})
+				}
+			}
+		}
+	}
+	return fo, nil
+}
+
+// AddIndirectEdge records a profiled indirect-call edge from the region
+// containing the callb instruction with the given ID to callee.
+func (fo *Forest) AddIndirectEdge(callID int, callee string) {
+	for _, f := range fo.P.Funcs {
+		fr := fo.ByFunc[f.Name]
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.ID == callID {
+					fo.Callers[callee] = append(fo.Callers[callee], CallSite{Caller: f, Region: fr.Innermost(b.Index), Instr: in, Callee: callee})
+					return
+				}
+			}
+		}
+	}
+}
+
+// DominantCaller returns the call site most frequently executed for callee
+// according to freq (a map from call-instruction ID to execution count); nil
+// if the callee has no recorded callers. The region-based slicer follows this
+// edge when growing a slice past a procedure boundary, approximating "the
+// call sites currently on the call stack" of the context-sensitive slice
+// definition (§3.1) with the dominant dynamic context.
+func (fo *Forest) DominantCaller(callee string, freq map[int]uint64) *CallSite {
+	sites := fo.Callers[callee]
+	if len(sites) == 0 {
+		return nil
+	}
+	best := 0
+	sort.SliceStable(sites, func(i, j int) bool { return sites[i].Instr.ID < sites[j].Instr.ID })
+	for i := 1; i < len(sites); i++ {
+		if freq[sites[i].Instr.ID] > freq[sites[best].Instr.ID] {
+			best = i
+		}
+	}
+	return &sites[best]
+}

@@ -1,0 +1,61 @@
+// Package cliutil holds the input plumbing shared by the command-line
+// tools: loading programs from assembly files or from the built-in
+// benchmark generators, and selecting machine configurations.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+
+	"ssp/internal/ir"
+	"ssp/internal/sim"
+	"ssp/internal/workloads"
+)
+
+// LoadProgram returns a program from an assembly file (in) or from a
+// built-in benchmark generator (bench at the given scale; scale 0 selects
+// the benchmark's default experiment scale). Exactly one of in and bench
+// must be set.
+func LoadProgram(in, bench string, scale int) (*ir.Program, error) {
+	switch {
+	case in != "" && bench != "":
+		return nil, fmt.Errorf("specify either -in or -bench, not both")
+	case in != "":
+		src, err := os.ReadFile(in)
+		if err != nil {
+			return nil, err
+		}
+		return ir.Parse(string(src))
+	case bench != "":
+		spec, err := workloads.ByName(bench)
+		if err != nil {
+			return nil, err
+		}
+		if scale == 0 {
+			scale = spec.Scale
+		}
+		p, _ := spec.Build(scale)
+		return p, nil
+	}
+	return nil, fmt.Errorf("specify -in FILE or -bench NAME")
+}
+
+// MachineConfig builds a simulator configuration for "in-order" or "ooo",
+// optionally with the scaled-down test memory system.
+func MachineConfig(model string, tiny bool) (sim.Config, error) {
+	var c sim.Config
+	switch model {
+	case "in-order", "io":
+		c = sim.DefaultInOrder()
+	case "ooo", "out-of-order":
+		c = sim.DefaultOOO()
+	default:
+		return c, fmt.Errorf("unknown model %q (want in-order or ooo)", model)
+	}
+	if tiny {
+		c.Mem.L1Size = 1 << 10
+		c.Mem.L2Size = 4 << 10
+		c.Mem.L3Size = 16 << 10
+	}
+	return c, nil
+}

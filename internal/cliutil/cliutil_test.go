@@ -1,0 +1,66 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ssp/internal/ir"
+)
+
+func TestLoadProgramFromBench(t *testing.T) {
+	p, err := LoadProgram("", "mcf", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FuncByName("main") == nil {
+		t.Fatal("benchmark program lacks main")
+	}
+	if _, err := LoadProgram("", "nosuch", 0); err == nil {
+		t.Fatal("accepted unknown benchmark")
+	}
+}
+
+func TestLoadProgramFromFile(t *testing.T) {
+	p, _ := LoadProgram("", "mcf", 300)
+	path := filepath.Join(t.TempDir(), "prog.ssp")
+	if err := os.WriteFile(path, []byte(ir.Format(p)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q, err := LoadProgram(path, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumInstrs() != p.NumInstrs() {
+		t.Fatalf("file round trip: %d instrs vs %d", q.NumInstrs(), p.NumInstrs())
+	}
+}
+
+func TestLoadProgramArgErrors(t *testing.T) {
+	if _, err := LoadProgram("", "", 0); err == nil {
+		t.Fatal("accepted neither -in nor -bench")
+	}
+	if _, err := LoadProgram("x.ssp", "mcf", 0); err == nil {
+		t.Fatal("accepted both -in and -bench")
+	}
+	if _, err := LoadProgram("/nonexistent/file.ssp", "", 0); err == nil {
+		t.Fatal("accepted missing file")
+	}
+}
+
+func TestMachineConfig(t *testing.T) {
+	io, err := MachineConfig("in-order", false)
+	if err != nil || io.Model.String() != "in-order" {
+		t.Fatalf("in-order: %v %v", io.Model, err)
+	}
+	ooo, err := MachineConfig("ooo", true)
+	if err != nil || ooo.Model.String() != "ooo" {
+		t.Fatalf("ooo: %v %v", ooo.Model, err)
+	}
+	if ooo.Mem.L1Size != 1<<10 {
+		t.Fatal("tiny flag ignored")
+	}
+	if _, err := MachineConfig("weird", false); err == nil {
+		t.Fatal("accepted unknown model")
+	}
+}

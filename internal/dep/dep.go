@@ -1,0 +1,348 @@
+// Package dep builds the latency-annotated dependence graphs the SSP tool
+// slices and schedules (§3.1, §3.2). Nodes are instructions of one function;
+// edges are true (def->use) register/predicate/branch-register dependences
+// plus control dependences. Loop-carried anti and output dependences are not
+// represented at all, matching the paper: "Our slicing tool also ignores
+// loop-carried anti dependences and output dependences in order to produce
+// smaller slices" (§3.1).
+package dep
+
+import (
+	"ssp/internal/cfg"
+	"ssp/internal/ir"
+)
+
+// Edge is a data-dependence edge from a defining node to a using node.
+type Edge struct {
+	// From is the defining node, To the using node.
+	From, To int
+	// Loc is the register carried by the dependence.
+	Loc ir.Loc
+	// Carried marks a loop-carried dependence: the value flows around a
+	// back edge into a later iteration (Figure 3's A-D-E recurrence).
+	Carried bool
+}
+
+// Graph is the dependence graph of one function.
+type Graph struct {
+	F *ir.Func
+	G *cfg.Graph
+
+	// Nodes lists every instruction in layout order.
+	Nodes []*ir.Instr
+	// BlockOf and PosOf give each node's block index and position.
+	BlockOf []int
+	PosOf   []int
+
+	// DataPreds[n] are the edges whose To == n (the defs n depends on);
+	// DataSuccs[n] the edges whose From == n.
+	DataPreds [][]Edge
+	DataSuccs [][]Edge
+
+	// CtrlPreds[n] lists the branch nodes n is control-dependent on
+	// (computed from postdominance frontiers, §3.1).
+	CtrlPreds [][]int
+
+	// EntryDefs[n] holds, for each use in node n of a location with no
+	// reaching definition inside the function, that location: the value is
+	// live into the function (a formal argument r32.. or caller state).
+	// The context-sensitive slicer extends the slice through these (§3.1).
+	EntryDefs [][]ir.Loc
+
+	byID map[int]int // instruction ID -> node index
+}
+
+// NodeByID returns the node index of the instruction with the given ID, or
+// -1 if absent.
+func (g *Graph) NodeByID(id int) int {
+	if n, ok := g.byID[id]; ok {
+		return n
+	}
+	return -1
+}
+
+// calleeFormals returns how many argument registers a call uses.
+func calleeFormals(p *ir.Program, in *ir.Instr) int {
+	if in.Op == ir.OpCall {
+		if f := p.FuncByName(in.Target); f != nil {
+			return f.NumFormals
+		}
+	}
+	return 8 // unresolved indirect call: conservative
+}
+
+// uses returns the locations read by node in, extended with the calling
+// convention: a call reads its argument registers r32..; a return reads the
+// return-value register r8 (the value flows to the caller).
+func uses(p *ir.Program, in *ir.Instr, dst []ir.Loc) []ir.Loc {
+	dst = in.AppendUses(dst)
+	switch in.Op {
+	case ir.OpCall, ir.OpCallB:
+		for i := 0; i < calleeFormals(p, in); i++ {
+			dst = append(dst, ir.GRLoc(ir.RegArg0+ir.Reg(i)))
+		}
+	case ir.OpRet:
+		dst = append(dst, ir.GRLoc(ir.RegRet))
+	}
+	return dst
+}
+
+// defs returns the locations written by node in, extended with the calling
+// convention: a call defines the return-value register r8 on return. All
+// other registers are preserved across calls by the code-generation
+// convention used throughout this repository (callees avoid clobbering
+// caller-live registers), so calls kill nothing else.
+func defs(in *ir.Instr, dst []ir.Loc) []ir.Loc {
+	dst = in.AppendDefs(dst)
+	if in.Op == ir.OpCall || in.Op == ir.OpCallB {
+		dst = append(dst, ir.GRLoc(ir.RegRet))
+	}
+	return dst
+}
+
+// Build computes the dependence graph of f. prog supplies callee signatures
+// for the calling-convention extension; dom/pdom come from package cfg.
+func Build(prog *ir.Program, f *ir.Func, g *cfg.Graph, dom, pdom *cfg.DomTree) *Graph {
+	dg := &Graph{F: f, G: g, byID: make(map[int]int)}
+	for bi, b := range f.Blocks {
+		for pi, in := range b.Instrs {
+			dg.byID[in.ID] = len(dg.Nodes)
+			dg.Nodes = append(dg.Nodes, in)
+			dg.BlockOf = append(dg.BlockOf, bi)
+			dg.PosOf = append(dg.PosOf, pi)
+		}
+	}
+	n := len(dg.Nodes)
+	dg.DataPreds = make([][]Edge, n)
+	dg.DataSuccs = make([][]Edge, n)
+	dg.CtrlPreds = make([][]int, n)
+	dg.EntryDefs = make([][]ir.Loc, n)
+
+	dg.buildDataDeps(prog, dom)
+	dg.buildCtrlDeps(pdom)
+	return dg
+}
+
+// defSet is a small set of defining node indices for one location.
+type defSet []int
+
+func (s defSet) has(x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func (s defSet) add(x int) defSet {
+	if s.has(x) {
+		return s
+	}
+	return append(s, x)
+}
+
+// buildDataDeps computes reaching definitions per location over the CFG and
+// materializes def->use edges, classifying each as forward (intra-iteration)
+// or loop-carried using acyclic CFG reachability (back edges removed).
+func (dg *Graph) buildDataDeps(prog *ir.Program, dom *cfg.DomTree) {
+	nb := len(dg.F.Blocks)
+	// Per-block gen (last def per loc) and the set of locs defined.
+	gen := make([]map[ir.Loc]int, nb)
+	firstNode := make([]int, nb)
+	node := 0
+	var scratch []ir.Loc
+	for bi, b := range dg.F.Blocks {
+		gen[bi] = make(map[ir.Loc]int)
+		firstNode[bi] = node
+		for range b.Instrs {
+			scratch = defs(dg.Nodes[node], scratch[:0])
+			for _, l := range scratch {
+				gen[bi][l] = node
+			}
+			node++
+		}
+	}
+	// Iterative reaching definitions: out[b][loc] = defs reaching b's end.
+	in := make([]map[ir.Loc]defSet, nb)
+	out := make([]map[ir.Loc]defSet, nb)
+	for i := range out {
+		in[i] = make(map[ir.Loc]defSet)
+		out[i] = make(map[ir.Loc]defSet)
+	}
+	rpo := dg.G.RPO()
+	for changed := true; changed; {
+		changed = false
+		for _, bi := range rpo {
+			// in[bi] = union of preds' out.
+			for _, p := range dg.G.Preds[bi] {
+				for loc, ds := range out[p] {
+					cur := in[bi][loc]
+					for _, d := range ds {
+						nl := cur.add(d)
+						if len(nl) != len(cur) {
+							cur = nl
+						}
+					}
+					in[bi][loc] = cur
+				}
+			}
+			// out[bi] = gen[bi] ∪ (in[bi] − kill[bi]); a block kills a loc
+			// iff it defines it (last def wins).
+			for loc, ds := range in[bi] {
+				if _, killed := gen[bi][loc]; killed {
+					continue
+				}
+				cur := out[bi][loc]
+				before := len(cur)
+				for _, d := range ds {
+					cur = cur.add(d)
+				}
+				if len(cur) != before {
+					out[bi][loc] = cur
+					changed = true
+				} else if before > 0 {
+					out[bi][loc] = cur
+				}
+			}
+			for loc, d := range gen[bi] {
+				cur := out[bi][loc]
+				nl := cur.add(d)
+				if len(nl) != len(cur) {
+					out[bi][loc] = nl
+					changed = true
+				}
+			}
+		}
+	}
+	// Forward block reachability with back edges removed, for carried-edge
+	// classification.
+	fwd := acyclicReach(dg.G, dom)
+	// Local pass: walk each block tracking current defs, emit edges.
+	cur := make(map[ir.Loc]defSet)
+	node = 0
+	var useScratch []ir.Loc
+	for bi, b := range dg.F.Blocks {
+		clear(cur)
+		for loc, ds := range in[bi] {
+			cur[loc] = ds
+		}
+		for range b.Instrs {
+			inst := dg.Nodes[node]
+			useScratch = uses(prog, inst, useScratch[:0])
+			for _, loc := range useScratch {
+				ds, ok := cur[loc]
+				if !ok || len(ds) == 0 {
+					dg.EntryDefs[node] = append(dg.EntryDefs[node], loc)
+					continue
+				}
+				for _, d := range ds {
+					carried := !dg.forward(d, node, fwd)
+					e := Edge{From: d, To: node, Loc: loc, Carried: carried}
+					dg.DataPreds[node] = append(dg.DataPreds[node], e)
+					dg.DataSuccs[d] = append(dg.DataSuccs[d], e)
+				}
+			}
+			scratch = defs(inst, scratch[:0])
+			if len(scratch) > 0 {
+				for _, loc := range scratch {
+					cur[loc] = defSet{node}
+				}
+			}
+			node++
+		}
+	}
+	// Entry-reaching uses in blocks whose in-set lacks the loc entirely are
+	// already handled above; additionally, uses whose reaching set includes
+	// the entry (no def on some path) are approximated by the defs found.
+}
+
+// forward reports whether the value flow d -> u is realizable without
+// crossing a back edge (i.e. within one iteration).
+func (dg *Graph) forward(d, u int, fwd [][]bool) bool {
+	bd, bu := dg.BlockOf[d], dg.BlockOf[u]
+	if bd == bu {
+		return dg.PosOf[d] < dg.PosOf[u]
+	}
+	return fwd[bd][bu]
+}
+
+// acyclicReach computes block-to-block reachability in the CFG with back
+// edges (successor dominates source) removed.
+func acyclicReach(g *cfg.Graph, dom *cfg.DomTree) [][]bool {
+	n := len(g.Succs)
+	reach := make([][]bool, n)
+	// Process in reverse RPO so successors are done first (the graph is
+	// acyclic after removing back edges).
+	rpo := g.RPO()
+	for i := range reach {
+		reach[i] = make([]bool, n)
+	}
+	for i := len(rpo) - 1; i >= 0; i-- {
+		b := rpo[i]
+		for _, s := range g.Succs[b] {
+			if dom.Dominates(s, b) {
+				continue // back edge
+			}
+			reach[b][s] = true
+			for t := 0; t < n; t++ {
+				if reach[s][t] {
+					reach[b][t] = true
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// buildCtrlDeps computes control dependences via the postdominance-frontier
+// construction of Ferrante et al.: for CFG edge (X,Y) where Y != ipdom(X),
+// every block on the postdominator-tree path from Y up to (but not
+// including) ipdom(X) is control-dependent on X's terminator. The Y == X
+// self-loop case makes a do-while body control-dependent on its own latch
+// branch — the dashed E->A/E->D edges of Figure 3.
+func (dg *Graph) buildCtrlDeps(pdom *cfg.DomTree) {
+	nb := len(dg.F.Blocks)
+	// Node index of each block's terminator.
+	termNode := make([]int, nb)
+	node := 0
+	for bi, b := range dg.F.Blocks {
+		termNode[bi] = -1
+		for pi := range b.Instrs {
+			if pi == len(b.Instrs)-1 {
+				termNode[bi] = node
+			}
+			node++
+		}
+	}
+	ctrlOf := make([][]int, nb) // blocks -> controlling terminator nodes
+	for x := 0; x < nb; x++ {
+		if len(dg.G.Succs[x]) < 2 {
+			continue
+		}
+		t := termNode[x]
+		if t < 0 || dg.Nodes[t].Op != ir.OpBr {
+			continue
+		}
+		stop := pdom.IDom[x]
+		for _, y := range dg.G.Succs[x] {
+			if y == stop {
+				continue
+			}
+			// Walk the postdominator tree from y toward ipdom(x).
+			for z := y; z != stop && z >= 0 && z < nb; z = pdom.IDom[z] {
+				ctrlOf[z] = append(ctrlOf[z], t)
+				if pdom.IDom[z] == z {
+					break
+				}
+			}
+		}
+	}
+	node = 0
+	for bi, b := range dg.F.Blocks {
+		for range b.Instrs {
+			dg.CtrlPreds[node] = ctrlOf[bi]
+			node++
+		}
+	}
+}

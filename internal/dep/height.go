@@ -1,0 +1,90 @@
+package dep
+
+import "ssp/internal/ir"
+
+// LatencyFunc estimates the execution latency of an instruction in cycles.
+// The SSP tool supplies one combining the machine model's fixed latencies
+// with cache-profile-derived expected latencies for loads: "The latency of a
+// memory operation is determined by cache profiling, and the machine model
+// provides latency estimates for other instructions" (§3.2.1).
+type LatencyFunc func(*ir.Instr) float64
+
+// Heights computes, for every node in the set, its height in the dependence
+// DAG restricted to the set: the maximum latency-weighted path from the node
+// to any leaf, following forward data edges only (loop-carried edges are
+// excluded, making the graph acyclic). This is the priority metric of the
+// list scheduler and the height() function of the slack equations
+// (§3.2.1.2.2).
+func (dg *Graph) Heights(nodes []int, lat LatencyFunc) map[int]float64 {
+	inSet := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		inSet[n] = true
+	}
+	h := make(map[int]float64, len(nodes))
+	var visit func(int) float64
+	visiting := make(map[int]bool)
+	visit = func(n int) float64 {
+		if v, ok := h[n]; ok {
+			return v
+		}
+		if visiting[n] {
+			// Defensive: a forward-edge cycle cannot occur by
+			// construction, but never recurse forever.
+			return 0
+		}
+		visiting[n] = true
+		best := 0.0
+		for _, e := range dg.DataSuccs[n] {
+			if e.Carried || !inSet[e.To] || e.To == n {
+				continue
+			}
+			if v := visit(e.To); v > best {
+				best = v
+			}
+		}
+		visiting[n] = false
+		v := lat(dg.Nodes[n]) + best
+		h[n] = v
+		return v
+	}
+	for _, n := range nodes {
+		visit(n)
+	}
+	return h
+}
+
+// MaxHeight returns the maximum node height over the set: the height() of a
+// region or slice in the slack equations.
+func (dg *Graph) MaxHeight(nodes []int, lat LatencyFunc) float64 {
+	h := dg.Heights(nodes, lat)
+	best := 0.0
+	for _, v := range h {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// SumLatency returns the total latency of the node set.
+func (dg *Graph) SumLatency(nodes []int, lat LatencyFunc) float64 {
+	s := 0.0
+	for _, n := range nodes {
+		s += lat(dg.Nodes[n])
+	}
+	return s
+}
+
+// AvailableILP returns the available instruction-level parallelism of the
+// node set: the ratio of the sum of all operation latencies to the critical
+// path length (§3.2.1.2.2, after Cooper et al.). Values near 1 mean the
+// dependence chain is serial — the regime in which height-priority forward
+// list scheduling is near-optimal, which the paper verifies holds for
+// delinquent-load slices.
+func (dg *Graph) AvailableILP(nodes []int, lat LatencyFunc) float64 {
+	cp := dg.MaxHeight(nodes, lat)
+	if cp == 0 {
+		return 1
+	}
+	return dg.SumLatency(nodes, lat) / cp
+}

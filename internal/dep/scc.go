@@ -1,0 +1,106 @@
+package dep
+
+// SCC partitions the given node set into strongly connected components using
+// an iterative Tarjan algorithm over the adjacency function adj (which must
+// only yield nodes inside the set). Components are returned in reverse
+// topological order of the condensation (callees of Tarjan's stack pops),
+// i.e. a component appears before any component that depends on it through
+// forward edges — callers wanting dependence order should reverse it.
+//
+// This is the partitioning phase of §3.2.1.2.1: the p-slice's dependence
+// cycles (loop-carried recurrences) collapse into non-degenerate SCCs that
+// the scheduler places before the spawn point, while degenerate SCCs (the
+// prefetch chain itself) become the non-critical sub-slice.
+func SCC(nodes []int, adj func(int) []int) [][]int {
+	index := make(map[int]int, len(nodes))
+	low := make(map[int]int, len(nodes))
+	onStack := make(map[int]bool, len(nodes))
+	inSet := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		inSet[n] = true
+	}
+	var stack []int
+	var comps [][]int
+	next := 0
+
+	type frame struct {
+		v     int
+		succs []int
+		i     int
+	}
+	for _, root := range nodes {
+		if _, visited := index[root]; visited {
+			continue
+		}
+		work := []frame{{v: root, succs: filterSet(adj(root), inSet)}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			if f.i < len(f.succs) {
+				w := f.succs[f.i]
+				f.i++
+				if _, visited := index[w]; !visited {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					work = append(work, frame{v: w, succs: filterSet(adj(w), inSet)})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Finished v.
+			v := f.v
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := &work[len(work)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+func filterSet(xs []int, in map[int]bool) []int {
+	var out []int
+	for _, x := range xs {
+		if in[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// IsDegenerate reports whether a component is a single node with no self
+// edge (per adj). A degenerate SCC is not part of any dependence cycle.
+func IsDegenerate(comp []int, adj func(int) []int) bool {
+	if len(comp) != 1 {
+		return false
+	}
+	v := comp[0]
+	for _, w := range adj(v) {
+		if w == v {
+			return false
+		}
+	}
+	return true
+}

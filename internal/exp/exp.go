@@ -1,0 +1,268 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (§4): Figure 2 (perfect-memory and perfect-delinquent-load speedup
+// bounds), Table 2 (slice characteristics), Figure 8 (SSP speedups on the
+// in-order and OOO models), Figure 9 (where delinquent loads are satisfied),
+// Figure 10 (cycle breakdowns), the §4.5 automatic-vs-hand comparison, and
+// the ablations of the design choices called out in DESIGN.md.
+package exp
+
+import (
+	"fmt"
+
+	"ssp/internal/handtuned"
+	"ssp/internal/ir"
+	"ssp/internal/profile"
+	"ssp/internal/sim"
+	"ssp/internal/ssp"
+	"ssp/internal/workloads"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// ScaleTest shrinks caches and working sets so the whole suite runs
+	// in seconds (unit tests, quick looks).
+	ScaleTest Scale = iota
+	// ScalePaper uses the Table 1 machine and working sets larger than
+	// the 3MB L3, like the paper's runs.
+	ScalePaper
+)
+
+// Variant names a binary/machine treatment of a benchmark.
+type Variant string
+
+const (
+	VarBase     Variant = "base"
+	VarSSP      Variant = "ssp"
+	VarHand     Variant = "hand"
+	VarPerfMem  Variant = "perfmem"
+	VarPerfDel  Variant = "perfdel"
+	VarNoChain  Variant = "ssp-nochain"
+	VarNoRotate Variant = "ssp-norotate"
+	VarNoPred   Variant = "ssp-nopred"
+	VarNoSpec   Variant = "ssp-nospec"
+	// VarUnroll is the chain-unrolling extension (Options.ChainUnroll=2):
+	// the automated version of what the paper's hand adaptation did.
+	VarUnroll Variant = "ssp-unroll2"
+)
+
+// Suite caches built programs, profiles, adaptations, and simulation results
+// so the experiment drivers and benchmarks share work.
+type Suite struct {
+	Scale Scale
+
+	progs map[string]*progSet
+	runs  map[runKey]*sim.Result
+}
+
+type progSet struct {
+	spec    workloads.Spec
+	orig    *ir.Program
+	want    uint64
+	prof    *profile.Profile
+	del     []int
+	adapted map[Variant]*ir.Program
+	reports map[Variant]*ssp.Report
+}
+
+type runKey struct {
+	bench   string
+	model   sim.Model
+	variant Variant
+}
+
+// NewSuite returns an empty suite at the given scale.
+func NewSuite(s Scale) *Suite {
+	return &Suite{
+		Scale: s,
+		progs: make(map[string]*progSet),
+		runs:  make(map[runKey]*sim.Result),
+	}
+}
+
+// machineConfig returns the simulator configuration for a model at the
+// suite's scale.
+func (s *Suite) machineConfig(model sim.Model) sim.Config {
+	var c sim.Config
+	if model == sim.InOrder {
+		c = sim.DefaultInOrder()
+	} else {
+		c = sim.DefaultOOO()
+	}
+	if s.Scale == ScaleTest {
+		c.Mem.L1Size = 1 << 10
+		c.Mem.L2Size = 4 << 10
+		c.Mem.L3Size = 16 << 10
+	}
+	c.MaxCycles = 4_000_000_000
+	return c
+}
+
+func (s *Suite) scaleOf(spec workloads.Spec) int {
+	if s.Scale == ScaleTest {
+		return spec.TestScale
+	}
+	return spec.Scale
+}
+
+// prog builds (once) the benchmark, its profile, and its delinquent set.
+func (s *Suite) prog(bench string) (*progSet, error) {
+	if ps, ok := s.progs[bench]; ok {
+		return ps, nil
+	}
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	orig, want := spec.Build(s.scaleOf(spec))
+	prof, err := profile.Collect(orig, s.machineConfig(sim.InOrder))
+	if err != nil {
+		return nil, fmt.Errorf("%s: profile: %w", bench, err)
+	}
+	opt := ssp.DefaultOptions()
+	ps := &progSet{
+		spec:    spec,
+		orig:    orig,
+		want:    want,
+		prof:    prof,
+		del:     prof.DelinquentLoads(opt.DelinquentCutoff, opt.MaxDelinquent),
+		adapted: make(map[Variant]*ir.Program),
+		reports: make(map[Variant]*ssp.Report),
+	}
+	s.progs[bench] = ps
+	return ps, nil
+}
+
+// variantOptions maps an adaptation variant to tool options.
+func variantOptions(v Variant) (ssp.Options, bool) {
+	opt := ssp.DefaultOptions()
+	switch v {
+	case VarSSP:
+	case VarNoChain:
+		opt.Chaining = false
+	case VarNoRotate:
+		opt.LoopRotation = false
+	case VarNoPred:
+		opt.CondPrediction = false
+	case VarNoSpec:
+		opt.SpeculativeSlicing = false
+	case VarUnroll:
+		opt.ChainUnroll = 2
+	default:
+		return opt, false
+	}
+	return opt, true
+}
+
+// program returns the binary for a benchmark variant, adapting on demand.
+func (s *Suite) program(bench string, v Variant) (*ir.Program, error) {
+	ps, err := s.prog(bench)
+	if err != nil {
+		return nil, err
+	}
+	switch v {
+	case VarBase, VarPerfMem, VarPerfDel:
+		return ps.orig, nil
+	case VarHand:
+		if p, ok := ps.adapted[v]; ok {
+			return p, nil
+		}
+		p, err := handtuned.Adapt(bench, ps.orig)
+		if err != nil {
+			return nil, err
+		}
+		ps.adapted[v] = p
+		return p, nil
+	}
+	if p, ok := ps.adapted[v]; ok {
+		return p, nil
+	}
+	opt, ok := variantOptions(v)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown variant %q", v)
+	}
+	p, rep, err := ssp.Adapt(ps.orig, ps.prof, opt, bench)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: adapt: %w", bench, v, err)
+	}
+	ps.adapted[v] = p
+	ps.reports[v] = rep
+	return p, nil
+}
+
+// Report returns the tool report for an adapted variant (VarSSP by default),
+// adapting if needed.
+func (s *Suite) Report(bench string, v Variant) (*ssp.Report, error) {
+	if _, err := s.program(bench, v); err != nil {
+		return nil, err
+	}
+	return s.progs[bench].reports[v], nil
+}
+
+// Run simulates a benchmark variant on a model, caching and checksum-
+// verifying the result.
+func (s *Suite) Run(bench string, model sim.Model, v Variant) (*sim.Result, error) {
+	key := runKey{bench, model, v}
+	if r, ok := s.runs[key]; ok {
+		return r, nil
+	}
+	ps, err := s.prog(bench)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.program(bench, v)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.machineConfig(model)
+	switch v {
+	case VarPerfMem:
+		cfg.Mem.PerfectMemory = true
+	case VarPerfDel:
+		cfg.Mem.PerfectDelinquent = true
+		cfg.Mem.DelinquentIDs = map[int]bool{}
+		for _, id := range ps.del {
+			cfg.Mem.DelinquentIDs[id] = true
+		}
+	}
+	img, err := ir.Link(p)
+	if err != nil {
+		return nil, err
+	}
+	m := sim.New(cfg, img)
+	res, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	if res.TimedOut {
+		return nil, fmt.Errorf("%s/%v/%s: watchdog expired", bench, model, v)
+	}
+	if got := m.Mem.Load(workloads.ResultAddr); got != ps.want {
+		return nil, fmt.Errorf("%s/%v/%s: checksum %d, want %d", bench, model, v, got, ps.want)
+	}
+	s.runs[key] = res
+	return res, nil
+}
+
+// Speedup returns cycles(reference)/cycles(treatment).
+func (s *Suite) Speedup(bench string, refModel sim.Model, refVar Variant, model sim.Model, v Variant) (float64, error) {
+	ref, err := s.Run(bench, refModel, refVar)
+	if err != nil {
+		return 0, err
+	}
+	r, err := s.Run(bench, model, v)
+	if err != nil {
+		return 0, err
+	}
+	return float64(ref.Cycles) / float64(r.Cycles), nil
+}
+
+// Benchmarks returns the benchmark names in paper order.
+func Benchmarks() []string {
+	var names []string
+	for _, s := range workloads.All() {
+		names = append(names, s.Name)
+	}
+	return names
+}

@@ -1,0 +1,344 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ssp/internal/sim"
+	"ssp/internal/sim/mem"
+)
+
+// Fig2Row reproduces one category of Figure 2: speedups over the same
+// model's baseline when assuming a perfect memory subsystem and when
+// assuming only the delinquent loads always hit L1.
+type Fig2Row struct {
+	Bench                  string
+	PerfMemIO, PerfDelIO   float64
+	PerfMemOOO, PerfDelOOO float64
+}
+
+// Figure2 runs the perfect-memory / perfect-delinquent bound study.
+func (s *Suite) Figure2() ([]Fig2Row, error) {
+	var rows []Fig2Row
+	for _, b := range Benchmarks() {
+		r := Fig2Row{Bench: b}
+		var err error
+		if r.PerfMemIO, err = s.Speedup(b, sim.InOrder, VarBase, sim.InOrder, VarPerfMem); err != nil {
+			return nil, err
+		}
+		if r.PerfDelIO, err = s.Speedup(b, sim.InOrder, VarBase, sim.InOrder, VarPerfDel); err != nil {
+			return nil, err
+		}
+		if r.PerfMemOOO, err = s.Speedup(b, sim.OOO, VarBase, sim.OOO, VarPerfMem); err != nil {
+			return nil, err
+		}
+		if r.PerfDelOOO, err = s.Speedup(b, sim.OOO, VarBase, sim.OOO, VarPerfDel); err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// Table2Row is one row of Table 2.
+type Table2Row struct {
+	Bench      string
+	Slices     int
+	Interproc  int
+	AvgSize    float64
+	AvgLiveIns float64
+}
+
+// Table2 reports slice characteristics of the tool's output.
+func (s *Suite) Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, b := range Benchmarks() {
+		rep, err := s.Report(b, VarSSP)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			Bench:      b,
+			Slices:     rep.NumSlices(),
+			Interproc:  rep.NumInterproc(),
+			AvgSize:    rep.AvgSize(),
+			AvgLiveIns: rep.AvgLiveIns(),
+		})
+	}
+	return rows, nil
+}
+
+// Fig8Row is one benchmark of Figure 8: speedups over the baseline in-order
+// model for in-order+SSP, plain OOO, and OOO+SSP.
+type Fig8Row struct {
+	Bench                   string
+	InOrderSSP, OOO, OOOSSP float64
+}
+
+// Figure8 runs the headline speedup study.
+func (s *Suite) Figure8() ([]Fig8Row, error) {
+	var rows []Fig8Row
+	for _, b := range Benchmarks() {
+		r := Fig8Row{Bench: b}
+		var err error
+		if r.InOrderSSP, err = s.Speedup(b, sim.InOrder, VarBase, sim.InOrder, VarSSP); err != nil {
+			return nil, err
+		}
+		if r.OOO, err = s.Speedup(b, sim.InOrder, VarBase, sim.OOO, VarBase); err != nil {
+			return nil, err
+		}
+		if r.OOOSSP, err = s.Speedup(b, sim.InOrder, VarBase, sim.OOO, VarSSP); err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// Fig9Config is one bar of Figure 9: the delinquent loads' L1 miss rate and
+// the distribution of where missing accesses were satisfied (full and
+// partial hits per level).
+type Fig9Config struct {
+	Label      string
+	L1MissRate float64
+	// Share is the fraction of L1-missing accesses satisfied at each
+	// (level, partial) bucket; levels L2..Mem, index 0 full / 1 partial.
+	Share map[string]float64
+}
+
+// Fig9Row is one benchmark's four configurations (io, io+ssp, ooo, ooo+ssp).
+type Fig9Row struct {
+	Bench   string
+	Configs []Fig9Config
+}
+
+// Figure9 computes the delinquent-load satisfaction breakdown.
+func (s *Suite) Figure9() ([]Fig9Row, error) {
+	var rows []Fig9Row
+	for _, b := range Benchmarks() {
+		ps, err := s.prog(b)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig9Row{Bench: b}
+		for _, c := range []struct {
+			label string
+			model sim.Model
+			v     Variant
+		}{
+			{"io", sim.InOrder, VarBase},
+			{"io+ssp", sim.InOrder, VarSSP},
+			{"ooo", sim.OOO, VarBase},
+			{"ooo+ssp", sim.OOO, VarSSP},
+		} {
+			res, err := s.Run(b, c.model, c.v)
+			if err != nil {
+				return nil, err
+			}
+			var acc, l1 uint64
+			missBuckets := map[string]uint64{}
+			var missTotal uint64
+			for _, id := range ps.del {
+				st := res.Hier.ByLoad[id]
+				if st == nil {
+					continue
+				}
+				acc += st.Accesses
+				l1 += st.Hits[mem.L1][0]
+				for lvl := mem.L2; lvl <= mem.Mem; lvl++ {
+					for p := 0; p < 2; p++ {
+						n := st.Hits[lvl][p]
+						missTotal += n
+						key := lvl.String()
+						if p == 1 {
+							key += " partial"
+						}
+						missBuckets[key] += n
+					}
+				}
+			}
+			cfgRes := Fig9Config{Label: c.label, Share: map[string]float64{}}
+			if acc > 0 {
+				cfgRes.L1MissRate = float64(acc-l1) / float64(acc)
+			}
+			if missTotal > 0 {
+				for k, n := range missBuckets {
+					cfgRes.Share[k] = float64(n) / float64(missTotal)
+				}
+			}
+			row.Configs = append(row.Configs, cfgRes)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig10Config is one bar of Figure 10: the main thread's cycle breakdown
+// normalized to the baseline in-order cycle count.
+type Fig10Config struct {
+	Label string
+	// Norm holds the six categories (L3, L2, L1, Cache+Exec, Exec, Other)
+	// as fractions of the baseline in-order cycles.
+	Norm [sim.NumCategories]float64
+	// Total is the bar height (cycles / baseline in-order cycles).
+	Total float64
+}
+
+// Fig10Row is one benchmark's four configurations.
+type Fig10Row struct {
+	Bench   string
+	Configs []Fig10Config
+}
+
+// Figure10 computes normalized cycle breakdowns.
+func (s *Suite) Figure10() ([]Fig10Row, error) {
+	var rows []Fig10Row
+	for _, b := range Benchmarks() {
+		base, err := s.Run(b, sim.InOrder, VarBase)
+		if err != nil {
+			return nil, err
+		}
+		denom := float64(base.Cycles)
+		row := Fig10Row{Bench: b}
+		for _, c := range []struct {
+			label string
+			model sim.Model
+			v     Variant
+		}{
+			{"io", sim.InOrder, VarBase},
+			{"io+ssp", sim.InOrder, VarSSP},
+			{"ooo", sim.OOO, VarBase},
+			{"ooo+ssp", sim.OOO, VarSSP},
+		} {
+			res, err := s.Run(b, c.model, c.v)
+			if err != nil {
+				return nil, err
+			}
+			fc := Fig10Config{Label: c.label}
+			for cat := sim.Category(0); cat < sim.NumCategories; cat++ {
+				fc.Norm[cat] = float64(res.Breakdown[cat]) / denom
+			}
+			fc.Total = float64(res.Cycles) / denom
+			row.Configs = append(row.Configs, fc)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Sec45Row compares automatic and hand adaptation (§4.5) on one model.
+type Sec45Row struct {
+	Bench       string
+	Model       string
+	AutoSpeedup float64
+	HandSpeedup float64
+	// LossPct is how much of the hand version's speedup the tool loses:
+	// 1 - auto/hand, as a percentage (the paper reports 20%/12%/27%).
+	LossPct float64
+}
+
+// Section45 runs the automatic-vs-hand study on mcf and health.
+func (s *Suite) Section45() ([]Sec45Row, error) {
+	var rows []Sec45Row
+	for _, b := range []string{"mcf", "health"} {
+		for _, model := range []sim.Model{sim.InOrder, sim.OOO} {
+			auto, err := s.Speedup(b, model, VarBase, model, VarSSP)
+			if err != nil {
+				return nil, err
+			}
+			hand, err := s.Speedup(b, model, VarBase, model, VarHand)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Sec45Row{
+				Bench:       b,
+				Model:       model.String(),
+				AutoSpeedup: auto,
+				HandSpeedup: hand,
+				LossPct:     100 * (1 - auto/hand),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationRow is one benchmark/variant speedup over the in-order baseline.
+type AblationRow struct {
+	Bench   string
+	Variant Variant
+	Speedup float64
+}
+
+// Ablations measures each disabled design choice on the in-order model.
+func (s *Suite) Ablations(benches []string) ([]AblationRow, error) {
+	if benches == nil {
+		benches = Benchmarks()
+	}
+	var rows []AblationRow
+	for _, b := range benches {
+		for _, v := range []Variant{VarSSP, VarNoChain, VarNoRotate, VarNoPred, VarNoSpec, VarUnroll} {
+			sp, err := s.Speedup(b, sim.InOrder, VarBase, sim.InOrder, v)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{Bench: b, Variant: v, Speedup: sp})
+		}
+	}
+	return rows, nil
+}
+
+// GeoMean returns the geometric mean of xs (the paper quotes arithmetic
+// averages; both are reported by the drivers).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	p := 1.0
+	for _, x := range xs {
+		p *= x
+	}
+	return math.Pow(p, 1/float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// FormatTable renders rows of cells as an aligned text table.
+func FormatTable(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return sb.String()
+}

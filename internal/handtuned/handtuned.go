@@ -1,0 +1,139 @@
+// Package handtuned provides manually adapted SSP binaries for mcf and
+// health, reproducing the hand-adaptation baseline of §4.5 (Wang et al.
+// [31]). The hand versions use the same trigger/stub/slice mechanism as the
+// tool but apply the aggressive transformations the paper says the tool
+// cannot derive automatically: unrolling the chaining slice over multiple
+// iterations, and inlining several levels of the pointee walk to build a
+// bigger interprocedural slice with more slack (§4.4.1, §4.5).
+package handtuned
+
+import (
+	"fmt"
+
+	"ssp/internal/ir"
+)
+
+// Live-in buffer slot assignments shared by the hand slices.
+const (
+	slotArc = 0
+	slotK   = 1
+)
+
+// AdaptMcf returns a hand-adapted copy of the workloads.Mcf program: a
+// chaining slice unrolled over two arcs per thread, so each speculative
+// thread issues four potential prefetches and the chain spawns half as
+// often.
+func AdaptMcf(orig *ir.Program) (*ir.Program, error) {
+	p := orig.Clone()
+	f := p.FuncByName("main")
+	if f == nil {
+		return nil, fmt.Errorf("handtuned: no main function")
+	}
+	loop := f.BlockByLabel("loop")
+	if loop == nil || loop.Instrs[0].Op != ir.OpNop {
+		return nil, fmt.Errorf("handtuned: mcf loop shape not recognized")
+	}
+	// Trigger: replace the padding nop at the loop head.
+	loop.Instrs[0].Op = ir.OpChk
+	loop.Instrs[0].Target = "hand_stub"
+
+	stub := ir.NewBlockBuilder(p, f, f.AddBlock("hand_stub"))
+	stub.Liw(slotArc, 14) // arc
+	stub.Liw(slotK, 15)   // K
+	stub.Spawn("hand_slice")
+
+	// Chaining slice, unrolled by two (the hand-scheduled do-across loop):
+	//   critical: arc' = arc + 128; chain spawn
+	//   non-critical: tail/head loads and potential prefetches for both
+	//   arcs, scheduled loads-first so the misses overlap.
+	s := ir.NewBlockBuilder(p, f, f.AddBlock("hand_slice"))
+	s.Lir(100, slotArc) // arc
+	s.Lir(101, slotK)   // K
+	s.AddI(102, 100, 128)
+	s.Liw(slotArc, 102)
+	s.Liw(slotK, 101)
+	s.Cmp(ir.CondLT, 40, 41, 102, 101)
+	s.On(40).Spawn("hand_slice")
+	// Both iterations' pointer loads issue before any dereference so the
+	// two tail/head misses overlap (hand scheduling).
+	s.Ld(103, 100, 8)    // arc0->tail
+	s.Ld(104, 100, 16)   // arc0->head
+	s.Ld(105, 100, 8+64) // arc1->tail
+	s.Ld(106, 100, 80)   // arc1->head
+	s.Lfetch(103, 16)
+	s.Lfetch(104, 16)
+	s.Lfetch(105, 16)
+	s.Lfetch(106, 16)
+	s.Kill()
+	f.Renumber()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// AdaptHealth returns a hand-adapted copy of the workloads.Health program:
+// the chaining slice walks the village list one step per thread but inlines
+// four levels of the callee's patient-list walk — the "bigger
+// interprocedural slice" built "by the programmer's hand adaptation to
+// create large enough slack" that §4.4.1 credits for hand adaptation's
+// advantage on health.
+func AdaptHealth(orig *ir.Program) (*ir.Program, error) {
+	p := orig.Clone()
+	f := p.FuncByName("main")
+	if f == nil || p.FuncByName("sum_list") == nil {
+		return nil, fmt.Errorf("handtuned: health shape not recognized")
+	}
+	loop := f.BlockByLabel("loop")
+	if loop == nil || loop.Instrs[0].Op != ir.OpNop {
+		return nil, fmt.Errorf("handtuned: health loop shape not recognized")
+	}
+	loop.Instrs[0].Op = ir.OpChk
+	loop.Instrs[0].Target = "hand_stub"
+
+	stub := ir.NewBlockBuilder(p, f, f.AddBlock("hand_stub"))
+	stub.Liw(0, 14) // vlist cursor
+	stub.Liw(1, 15) // vlist end
+	stub.Spawn("hand_slice")
+
+	s := ir.NewBlockBuilder(p, f, f.AddBlock("hand_slice"))
+	s.Lir(100, 0)
+	s.Lir(101, 1)
+	s.AddI(102, 100, 8) // next village slot
+	s.Liw(0, 102)
+	s.Liw(1, 101)
+	s.Cmp(ir.CondLT, 40, 41, 102, 101)
+	s.On(40).Spawn("hand_slice")
+	// Interprocedural body, four levels of sum_list's walk inlined: the
+	// village record, the patient head, and three successors. Each
+	// patient record's time and next share its line, so one prefetch per
+	// level covers both fields; the loads chase the chain.
+	s.Ld(103, 100, 0) // v = vlist[i]
+	s.Ld(104, 103, 0) // p1 = v->patients
+	s.Lfetch(104, 8)  // p1 line
+	s.Ld(105, 104, 0) // p2
+	s.Lfetch(105, 8)
+	s.Ld(106, 105, 0) // p3
+	s.Lfetch(106, 8)
+	s.Ld(107, 106, 0) // p4
+	s.Lfetch(107, 8)
+	s.Kill()
+	f.Renumber()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Adapt dispatches to the hand adaptation for the named benchmark; only mcf
+// and health have hand versions, matching §4.5 ("The common programs from
+// both works are mcf and health").
+func Adapt(name string, orig *ir.Program) (*ir.Program, error) {
+	switch name {
+	case "mcf":
+		return AdaptMcf(orig)
+	case "health":
+		return AdaptHealth(orig)
+	}
+	return nil, fmt.Errorf("handtuned: no hand adaptation for %q", name)
+}

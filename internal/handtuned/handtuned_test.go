@@ -1,0 +1,130 @@
+package handtuned
+
+import (
+	"testing"
+
+	"ssp/internal/ir"
+	"ssp/internal/profile"
+	"ssp/internal/sim"
+	"ssp/internal/ssp"
+	"ssp/internal/workloads"
+)
+
+func tinyConfig() sim.Config {
+	c := sim.DefaultInOrder()
+	c.Mem.L1Size = 1 << 10
+	c.Mem.L2Size = 4 << 10
+	c.Mem.L3Size = 16 << 10
+	c.MaxCycles = 200_000_000
+	return c
+}
+
+func run(t *testing.T, p *ir.Program, cfg sim.Config) (uint64, *sim.Result) {
+	t.Helper()
+	img, err := ir.Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(cfg, img)
+	res, err := m.Run()
+	if err != nil || res.TimedOut {
+		t.Fatalf("run failed: %v timedout=%v", err, res != nil && res.TimedOut)
+	}
+	return m.Mem.Load(workloads.ResultAddr), res
+}
+
+func TestHandAdaptationsPreserveResults(t *testing.T) {
+	for _, name := range []string{"mcf", "health"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := workloads.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig, want := spec.Build(spec.TestScale)
+			hand, err := Adapt(name, orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, res := run(t, hand, tinyConfig())
+			if got != want {
+				t.Fatalf("hand-adapted checksum = %d, want %d", got, want)
+			}
+			if res.Spawns == 0 {
+				t.Fatal("hand adaptation spawned no threads")
+			}
+		})
+	}
+}
+
+func TestHandBeatsBaseline(t *testing.T) {
+	for _, name := range []string{"mcf", "health"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, _ := workloads.ByName(name)
+			orig, _ := spec.Build(spec.TestScale)
+			hand, err := Adapt(name, orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, base := run(t, orig, tinyConfig())
+			_, fast := run(t, hand, tinyConfig())
+			speedup := float64(base.Cycles) / float64(fast.Cycles)
+			if speedup < 1.2 {
+				t.Fatalf("hand speedup = %.2f, want >= 1.2", speedup)
+			}
+			t.Logf("%s hand speedup: %.2f", name, speedup)
+		})
+	}
+}
+
+func TestHandAtLeastMatchesAuto(t *testing.T) {
+	// §4.5: the automated tool loses some performance to hand adaptation
+	// (20%/12% in-order for mcf/health). The hand version must therefore
+	// be at least about as fast as the tool's output.
+	for _, name := range []string{"mcf", "health"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, _ := workloads.ByName(name)
+			orig, _ := spec.Build(spec.TestScale)
+			prof, err := profile.Collect(orig, tinyConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			auto, _, err := ssp.Adapt(orig, prof, ssp.DefaultOptions(), name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hand, err := Adapt(name, orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, autoRes := run(t, auto, tinyConfig())
+			_, handRes := run(t, hand, tinyConfig())
+			ratio := float64(autoRes.Cycles) / float64(handRes.Cycles)
+			t.Logf("%s: auto %d cycles, hand %d cycles (hand advantage %.2fx)",
+				name, autoRes.Cycles, handRes.Cycles, ratio)
+			if ratio < 0.85 {
+				t.Fatalf("hand adaptation much slower than the tool (%.2fx)", ratio)
+			}
+		})
+	}
+}
+
+func TestAdaptUnknownBenchmark(t *testing.T) {
+	if _, err := Adapt("em3d", ir.NewProgram("main")); err == nil {
+		t.Fatal("Adapt accepted a benchmark without a hand version")
+	}
+}
+
+func TestAdaptRejectsForeignShape(t *testing.T) {
+	p := ir.NewProgram("main")
+	fb := ir.NewFunc(p, "main")
+	fb.Block("entry").Halt()
+	if _, err := AdaptMcf(p); err == nil {
+		t.Fatal("AdaptMcf accepted a foreign program")
+	}
+	if _, err := AdaptHealth(p); err == nil {
+		t.Fatal("AdaptHealth accepted a foreign program")
+	}
+}

@@ -1,0 +1,299 @@
+package ir
+
+// BlockBuilder appends instructions to a basic block, assigning each a fresh
+// program-unique ID. The workload generators and the SSP code generator are
+// written against this interface.
+type BlockBuilder struct {
+	P *Program
+	F *Func
+	B *Block
+}
+
+// NewBlockBuilder returns a builder appending to block b of function f.
+func NewBlockBuilder(p *Program, f *Func, b *Block) *BlockBuilder {
+	return &BlockBuilder{P: p, F: f, B: b}
+}
+
+// On returns a copy of the builder that predicates the next emitted
+// instruction with qp. Usage: bb.On(p6).Br("done").
+func (bb *BlockBuilder) On(qp PR) *PredBuilder { return &PredBuilder{bb: bb, qp: qp} }
+
+// emit assigns an ID and appends.
+func (bb *BlockBuilder) emit(in *Instr) *Instr {
+	bb.P.Assign(in)
+	bb.B.Append(in)
+	return in
+}
+
+// Nop emits a padding nop.
+func (bb *BlockBuilder) Nop() *Instr { return bb.emit(&Instr{Op: OpNop}) }
+
+// MovI emits rd = imm.
+func (bb *BlockBuilder) MovI(rd Reg, imm int64) *Instr {
+	return bb.emit(&Instr{Op: OpMovI, Rd: rd, Imm: imm})
+}
+
+// Mov emits rd = ra.
+func (bb *BlockBuilder) Mov(rd, ra Reg) *Instr {
+	return bb.emit(&Instr{Op: OpMov, Rd: rd, Ra: ra})
+}
+
+// Add emits rd = ra + rb.
+func (bb *BlockBuilder) Add(rd, ra, rb Reg) *Instr {
+	return bb.emit(&Instr{Op: OpAdd, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// AddI emits rd = ra + imm.
+func (bb *BlockBuilder) AddI(rd, ra Reg, imm int64) *Instr {
+	return bb.emit(&Instr{Op: OpAdd, Rd: rd, Ra: ra, Imm: imm, UseImm: true})
+}
+
+// Sub emits rd = ra - rb.
+func (bb *BlockBuilder) Sub(rd, ra, rb Reg) *Instr {
+	return bb.emit(&Instr{Op: OpSub, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// SubI emits rd = ra - imm.
+func (bb *BlockBuilder) SubI(rd, ra Reg, imm int64) *Instr {
+	return bb.emit(&Instr{Op: OpSub, Rd: rd, Ra: ra, Imm: imm, UseImm: true})
+}
+
+// Mul emits rd = ra * rb.
+func (bb *BlockBuilder) Mul(rd, ra, rb Reg) *Instr {
+	return bb.emit(&Instr{Op: OpMul, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// MulI emits rd = ra * imm.
+func (bb *BlockBuilder) MulI(rd, ra Reg, imm int64) *Instr {
+	return bb.emit(&Instr{Op: OpMul, Rd: rd, Ra: ra, Imm: imm, UseImm: true})
+}
+
+// And emits rd = ra & rb.
+func (bb *BlockBuilder) And(rd, ra, rb Reg) *Instr {
+	return bb.emit(&Instr{Op: OpAnd, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// AndI emits rd = ra & imm.
+func (bb *BlockBuilder) AndI(rd, ra Reg, imm int64) *Instr {
+	return bb.emit(&Instr{Op: OpAnd, Rd: rd, Ra: ra, Imm: imm, UseImm: true})
+}
+
+// Or emits rd = ra | rb.
+func (bb *BlockBuilder) Or(rd, ra, rb Reg) *Instr {
+	return bb.emit(&Instr{Op: OpOr, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// Xor emits rd = ra ^ rb.
+func (bb *BlockBuilder) Xor(rd, ra, rb Reg) *Instr {
+	return bb.emit(&Instr{Op: OpXor, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// XorI emits rd = ra ^ imm.
+func (bb *BlockBuilder) XorI(rd, ra Reg, imm int64) *Instr {
+	return bb.emit(&Instr{Op: OpXor, Rd: rd, Ra: ra, Imm: imm, UseImm: true})
+}
+
+// ShlI emits rd = ra << imm.
+func (bb *BlockBuilder) ShlI(rd, ra Reg, imm int64) *Instr {
+	return bb.emit(&Instr{Op: OpShl, Rd: rd, Ra: ra, Imm: imm, UseImm: true})
+}
+
+// ShrI emits rd = ra >> imm (logical).
+func (bb *BlockBuilder) ShrI(rd, ra Reg, imm int64) *Instr {
+	return bb.emit(&Instr{Op: OpShr, Rd: rd, Ra: ra, Imm: imm, UseImm: true})
+}
+
+// Cmp emits cmp.cond p1,p2 = ra, rb.
+func (bb *BlockBuilder) Cmp(cond Cond, p1, p2 PR, ra, rb Reg) *Instr {
+	return bb.emit(&Instr{Op: OpCmp, Cond: cond, Pd1: p1, Pd2: p2, Ra: ra, Rb: rb})
+}
+
+// CmpI emits cmp.cond p1,p2 = ra, imm.
+func (bb *BlockBuilder) CmpI(cond Cond, p1, p2 PR, ra Reg, imm int64) *Instr {
+	return bb.emit(&Instr{Op: OpCmp, Cond: cond, Pd1: p1, Pd2: p2, Ra: ra, Imm: imm, UseImm: true})
+}
+
+// Ld emits rd = [ra+disp].
+func (bb *BlockBuilder) Ld(rd, ra Reg, disp int64) *Instr {
+	return bb.emit(&Instr{Op: OpLd, Rd: rd, Ra: ra, Disp: disp})
+}
+
+// LdInc emits rd = [ra], then ra += inc (post-increment load).
+func (bb *BlockBuilder) LdInc(rd, ra Reg, inc int64) *Instr {
+	return bb.emit(&Instr{Op: OpLd, Rd: rd, Ra: ra, PostInc: inc})
+}
+
+// St emits [ra+disp] = rb.
+func (bb *BlockBuilder) St(ra Reg, disp int64, rb Reg) *Instr {
+	return bb.emit(&Instr{Op: OpSt, Ra: ra, Rb: rb, Disp: disp})
+}
+
+// Lfetch emits a prefetch of [ra+disp].
+func (bb *BlockBuilder) Lfetch(ra Reg, disp int64) *Instr {
+	return bb.emit(&Instr{Op: OpLfetch, Ra: ra, Disp: disp})
+}
+
+// Br emits an unconditional branch to the labelled block.
+func (bb *BlockBuilder) Br(label string) *Instr {
+	return bb.emit(&Instr{Op: OpBr, Target: label})
+}
+
+// Call emits a call to fn, saving the return link in b0.
+func (bb *BlockBuilder) Call(fn string) *Instr {
+	return bb.emit(&Instr{Op: OpCall, Target: fn, Bd: 0})
+}
+
+// CallB emits an indirect call through bs, saving the return link in bd.
+func (bb *BlockBuilder) CallB(bd, bs BR) *Instr {
+	return bb.emit(&Instr{Op: OpCallB, Bd: bd, Bs: bs})
+}
+
+// Ret emits a return through bs.
+func (bb *BlockBuilder) Ret(bs BR) *Instr {
+	return bb.emit(&Instr{Op: OpRet, Bs: bs})
+}
+
+// MovBR emits bd = ra.
+func (bb *BlockBuilder) MovBR(bd BR, ra Reg) *Instr {
+	return bb.emit(&Instr{Op: OpMovBR, Bd: bd, Ra: ra})
+}
+
+// MovBRFunc emits bd = &fn (loads a function address into a branch register
+// for indirect calls).
+func (bb *BlockBuilder) MovBRFunc(bd BR, fn string) *Instr {
+	return bb.emit(&Instr{Op: OpMovBR, Bd: bd, Target: fn})
+}
+
+// MovFromBR emits rd = bs.
+func (bb *BlockBuilder) MovFromBR(rd Reg, bs BR) *Instr {
+	return bb.emit(&Instr{Op: OpMovFromBR, Rd: rd, Bs: bs})
+}
+
+// Chk emits the chk.c trigger whose stub block is the labelled block.
+func (bb *BlockBuilder) Chk(stub string) *Instr {
+	return bb.emit(&Instr{Op: OpChk, Target: stub})
+}
+
+// Spawn emits a speculative-thread spawn starting at the labelled block.
+func (bb *BlockBuilder) Spawn(target string) *Instr {
+	return bb.emit(&Instr{Op: OpSpawn, Target: target})
+}
+
+// Liw emits a copy of ra into outgoing live-in buffer slot.
+func (bb *BlockBuilder) Liw(slot int64, ra Reg) *Instr {
+	return bb.emit(&Instr{Op: OpLiw, Imm: slot, Ra: ra})
+}
+
+// Lir emits a copy of incoming live-in buffer slot into rd.
+func (bb *BlockBuilder) Lir(rd Reg, slot int64) *Instr {
+	return bb.emit(&Instr{Op: OpLir, Rd: rd, Imm: slot})
+}
+
+// Kill emits thread_kill_self.
+func (bb *BlockBuilder) Kill() *Instr { return bb.emit(&Instr{Op: OpKill}) }
+
+// Halt emits program termination.
+func (bb *BlockBuilder) Halt() *Instr { return bb.emit(&Instr{Op: OpHalt}) }
+
+// PredBuilder emits a single predicated instruction; see BlockBuilder.On.
+type PredBuilder struct {
+	bb *BlockBuilder
+	qp PR
+}
+
+func (pb *PredBuilder) emit(in *Instr) *Instr {
+	in.Qp = pb.qp
+	return pb.bb.emit(in)
+}
+
+// Br emits (qp) br label.
+func (pb *PredBuilder) Br(label string) *Instr {
+	return pb.emit(&Instr{Op: OpBr, Target: label})
+}
+
+// Spawn emits (qp) spawn label.
+func (pb *PredBuilder) Spawn(target string) *Instr {
+	return pb.emit(&Instr{Op: OpSpawn, Target: target})
+}
+
+// Mov emits (qp) rd = ra.
+func (pb *PredBuilder) Mov(rd, ra Reg) *Instr {
+	return pb.emit(&Instr{Op: OpMov, Rd: rd, Ra: ra})
+}
+
+// AddI emits (qp) rd = ra + imm.
+func (pb *PredBuilder) AddI(rd, ra Reg, imm int64) *Instr {
+	return pb.emit(&Instr{Op: OpAdd, Rd: rd, Ra: ra, Imm: imm, UseImm: true})
+}
+
+// St emits (qp) [ra+disp] = rb.
+func (pb *PredBuilder) St(ra Reg, disp int64, rb Reg) *Instr {
+	return pb.emit(&Instr{Op: OpSt, Ra: ra, Rb: rb, Disp: disp})
+}
+
+// Ld emits (qp) rd = [ra+disp].
+func (pb *PredBuilder) Ld(rd, ra Reg, disp int64) *Instr {
+	return pb.emit(&Instr{Op: OpLd, Rd: rd, Ra: ra, Disp: disp})
+}
+
+// FuncBuilder creates blocks in a function, returning builders positioned on
+// each.
+type FuncBuilder struct {
+	P *Program
+	F *Func
+}
+
+// NewFunc adds a function to the program and returns its builder.
+func NewFunc(p *Program, name string) *FuncBuilder {
+	return &FuncBuilder{P: p, F: p.AddFunc(name)}
+}
+
+// Block adds a block with the given label and returns a builder for it.
+func (fb *FuncBuilder) Block(label string) *BlockBuilder {
+	return NewBlockBuilder(fb.P, fb.F, fb.F.AddBlock(label))
+}
+
+// FAdd emits fd = fa + fb.
+func (bb *BlockBuilder) FAdd(fd, fa, fb FR) *Instr {
+	return bb.emit(&Instr{Op: OpFAdd, Fd: fd, Fa: fa, Fb: fb})
+}
+
+// FSub emits fd = fa - fb.
+func (bb *BlockBuilder) FSub(fd, fa, fb FR) *Instr {
+	return bb.emit(&Instr{Op: OpFSub, Fd: fd, Fa: fa, Fb: fb})
+}
+
+// FMul emits fd = fa * fb.
+func (bb *BlockBuilder) FMul(fd, fa, fb FR) *Instr {
+	return bb.emit(&Instr{Op: OpFMul, Fd: fd, Fa: fa, Fb: fb})
+}
+
+// FMA emits fd = fa*fb + fc.
+func (bb *BlockBuilder) FMA(fd, fa, fb, fc FR) *Instr {
+	return bb.emit(&Instr{Op: OpFMA, Fd: fd, Fa: fa, Fb: fb, Fc: fc})
+}
+
+// FLd emits fd = [ra+disp] (ldfd).
+func (bb *BlockBuilder) FLd(fd FR, ra Reg, disp int64) *Instr {
+	return bb.emit(&Instr{Op: OpFLd, Fd: fd, Ra: ra, Disp: disp})
+}
+
+// FSt emits [ra+disp] = fa (stfd).
+func (bb *BlockBuilder) FSt(ra Reg, disp int64, fa FR) *Instr {
+	return bb.emit(&Instr{Op: OpFSt, Ra: ra, Disp: disp, Fa: fa})
+}
+
+// FCmp emits fcmp.cond p1,p2 = fa, fb.
+func (bb *BlockBuilder) FCmp(cond Cond, p1, p2 PR, fa, fb FR) *Instr {
+	return bb.emit(&Instr{Op: OpFCmp, Cond: cond, Pd1: p1, Pd2: p2, Fa: fa, Fb: fb})
+}
+
+// SetF emits fd = bits(ra).
+func (bb *BlockBuilder) SetF(fd FR, ra Reg) *Instr {
+	return bb.emit(&Instr{Op: OpSetF, Fd: fd, Ra: ra})
+}
+
+// GetF emits rd = bits(fa).
+func (bb *BlockBuilder) GetF(rd Reg, fa FR) *Instr {
+	return bb.emit(&Instr{Op: OpGetF, Rd: rd, Fa: fa})
+}

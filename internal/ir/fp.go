@@ -1,0 +1,135 @@
+package ir
+
+import "fmt"
+
+// FR names a floating-point register, f0..f127. Following the Itanium
+// architecture, f0 reads as +0.0 and f1 as +1.0; writes to them are ignored.
+type FR uint8
+
+// NumFRs is the number of FP registers per thread context (Table 1: 128).
+const NumFRs = 128
+
+// FZero and FOne are the hardwired FP constants.
+const (
+	FZero FR = 0
+	FOne  FR = 1
+)
+
+func (f FR) String() string { return fmt.Sprintf("f%d", uint8(f)) }
+
+// FRLoc returns the Loc of FP register f (the Loc space is extended past
+// the branch registers).
+func FRLoc(f FR) Loc { return locFR + Loc(f) }
+
+// IsFR reports whether l names an FP register, and which.
+func (l Loc) IsFR() (FR, bool) {
+	if l >= locFR && l < NumLocs {
+		return FR(l - locFR), true
+	}
+	return 0, false
+}
+
+// FP opcodes. They reuse the common Instr fields plus the FP register
+// fields Fd/Fa/Fb/Fc.
+const (
+	// OpFAdd: Fd = Fa + Fb.
+	OpFAdd Op = numOps + iota
+	// OpFSub: Fd = Fa - Fb.
+	OpFSub
+	// OpFMul: Fd = Fa * Fb.
+	OpFMul
+	// OpFMA is the fused multiply-add at the heart of Itanium FP codes:
+	// Fd = Fa*Fb + Fc.
+	OpFMA
+	// OpFLd loads a 64-bit float: Fd = [Ra+Disp] (ldfd).
+	OpFLd
+	// OpFSt stores a 64-bit float: [Ra+Disp] = Fa (stfd).
+	OpFSt
+	// OpFCmp compares Fa with Fb under Cond and writes Pd1/Pd2
+	// (fcmp.crel). Only EQ/NE/LT/LE/GT/GE apply.
+	OpFCmp
+	// OpSetF moves a general register's bits into an FP register:
+	// Fd = bits(Ra) (setf.d).
+	OpSetF
+	// OpGetF moves an FP register's bits into a general register:
+	// Rd = bits(Fa) (getf.d).
+	OpGetF
+
+	numOpsFP
+)
+
+// NumOps is the total opcode count including the FP extension.
+const NumOps = numOpsFP
+
+// opNamesFP is a composite literal (not filled by init) so that other
+// package-level initializers — the parser's mnemonic table — can depend on
+// it through Go's initialization-order analysis.
+var opNamesFP = [numOpsFP - numOps]string{
+	OpFAdd - numOps: "fadd",
+	OpFSub - numOps: "fsub",
+	OpFMul - numOps: "fmul",
+	OpFMA - numOps:  "fma",
+	OpFLd - numOps:  "ldfd",
+	OpFSt - numOps:  "stfd",
+	OpFCmp - numOps: "fcmp",
+	OpSetF - numOps: "setf",
+	OpGetF - numOps: "getf",
+}
+
+// IsFP reports whether the opcode belongs to the FP extension.
+func (o Op) IsFP() bool { return o >= numOps && o < numOpsFP }
+
+// fpUses appends FP-extension operand reads.
+func (i *Instr) fpUses(dst []Loc) []Loc {
+	addFR := func(f FR) {
+		if f != FZero && f != FOne {
+			dst = append(dst, FRLoc(f))
+		}
+	}
+	addGR := func(r Reg) {
+		if r != RegZero {
+			dst = append(dst, GRLoc(r))
+		}
+	}
+	switch i.Op {
+	case OpFAdd, OpFSub, OpFMul, OpFCmp:
+		addFR(i.Fa)
+		addFR(i.Fb)
+	case OpFMA:
+		addFR(i.Fa)
+		addFR(i.Fb)
+		addFR(i.Fc)
+	case OpFLd:
+		addGR(i.Ra)
+	case OpFSt:
+		addGR(i.Ra)
+		addFR(i.Fa)
+	case OpSetF:
+		addGR(i.Ra)
+	case OpGetF:
+		addFR(i.Fa)
+	}
+	return dst
+}
+
+// fpDefs appends FP-extension operand writes.
+func (i *Instr) fpDefs(dst []Loc) []Loc {
+	switch i.Op {
+	case OpFAdd, OpFSub, OpFMul, OpFMA, OpFLd, OpSetF:
+		if i.Fd != FZero && i.Fd != FOne {
+			dst = append(dst, FRLoc(i.Fd))
+		}
+	case OpFCmp:
+		if i.Pd1 != PTrue {
+			dst = append(dst, PRLoc(i.Pd1))
+		}
+		if i.Pd2 != PTrue {
+			dst = append(dst, PRLoc(i.Pd2))
+		}
+	case OpGetF:
+		if i.Rd != RegZero {
+			dst = append(dst, GRLoc(i.Rd))
+		}
+	}
+	return dst
+}

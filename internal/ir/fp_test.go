@@ -1,0 +1,102 @@
+package ir
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFPAsmRoundTrip(t *testing.T) {
+	src := `program entry=main
+func main formals=0 {
+entry:
+	setf f3 = r14
+	fadd f4 = f3, f1
+	fsub f5 = f4, f3
+	fmul f6 = f4, f5
+	fma f7 = f4, f5, f6
+	ldfd f8 = [r14+8]
+	stfd [r14+16] = f8
+	fcmp.lt p6, p7 = f7, f8
+	getf r15 = f7
+	halt
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(p)
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if Format(q) != text {
+		t.Fatalf("FP round trip unstable:\n%s\nvs\n%s", text, Format(q))
+	}
+	ins := p.Funcs[0].Blocks[0].Instrs
+	if ins[4].Op != OpFMA || ins[4].Fc != 6 {
+		t.Fatalf("fma parsed wrong: %+v", ins[4])
+	}
+	if ins[7].Op != OpFCmp || ins[7].Cond != CondLT {
+		t.Fatalf("fcmp parsed wrong: %+v", ins[7])
+	}
+}
+
+func TestFPUsesDefs(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		uses []Loc
+		defs []Loc
+	}{
+		{Instr{Op: OpFAdd, Fd: 3, Fa: 4, Fb: 5}, []Loc{FRLoc(4), FRLoc(5)}, []Loc{FRLoc(3)}},
+		{Instr{Op: OpFMA, Fd: 3, Fa: 4, Fb: 5, Fc: 6}, []Loc{FRLoc(4), FRLoc(5), FRLoc(6)}, []Loc{FRLoc(3)}},
+		// The hardwired f0/f1 never appear as dependences.
+		{Instr{Op: OpFAdd, Fd: 3, Fa: 0, Fb: 1}, nil, []Loc{FRLoc(3)}},
+		{Instr{Op: OpFLd, Fd: 3, Ra: 14}, []Loc{GRLoc(14)}, []Loc{FRLoc(3)}},
+		{Instr{Op: OpFSt, Ra: 14, Fa: 3}, []Loc{GRLoc(14), FRLoc(3)}, nil},
+		{Instr{Op: OpFCmp, Pd1: 6, Pd2: 7, Fa: 3, Fb: 4}, []Loc{FRLoc(3), FRLoc(4)}, []Loc{PRLoc(6), PRLoc(7)}},
+		{Instr{Op: OpSetF, Fd: 3, Ra: 14}, []Loc{GRLoc(14)}, []Loc{FRLoc(3)}},
+		{Instr{Op: OpGetF, Rd: 14, Fa: 3}, []Loc{FRLoc(3)}, []Loc{GRLoc(14)}},
+	}
+	for _, c := range cases {
+		gotU := c.in.AppendUses(nil)
+		gotD := c.in.AppendDefs(nil)
+		if !reflect.DeepEqual(gotU, c.uses) {
+			t.Errorf("%s: uses = %v, want %v", c.in.String(), gotU, c.uses)
+		}
+		if !reflect.DeepEqual(gotD, c.defs) {
+			t.Errorf("%s: defs = %v, want %v", c.in.String(), gotD, c.defs)
+		}
+	}
+}
+
+func TestFPLocSpace(t *testing.T) {
+	for f := 0; f < NumFRs; f++ {
+		l := FRLoc(FR(f))
+		if got, ok := l.IsFR(); !ok || got != FR(f) {
+			t.Fatalf("FR loc round trip failed for f%d", f)
+		}
+		if _, ok := l.IsGR(); ok {
+			t.Fatalf("FR loc f%d claims to be GR", f)
+		}
+		if _, ok := l.IsBR(); ok {
+			t.Fatalf("FR loc f%d claims to be BR", f)
+		}
+	}
+	if !strings.HasPrefix(FRLoc(5).String(), "f") {
+		t.Fatal("FR loc String wrong")
+	}
+	if _, ok := BRLoc(3).IsFR(); ok {
+		t.Fatal("BR loc claims to be FR")
+	}
+}
+
+func TestFPStoreIsSideEffecting(t *testing.T) {
+	if !(&Instr{Op: OpFSt}).HasSideEffect() {
+		t.Fatal("stfd not flagged as side-effecting")
+	}
+	if (&Instr{Op: OpFLd}).HasSideEffect() {
+		t.Fatal("ldfd flagged as side-effecting")
+	}
+}

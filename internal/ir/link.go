@@ -1,0 +1,139 @@
+package ir
+
+import "fmt"
+
+// Linked is an instruction placed at a code address with its control-flow
+// target resolved to an absolute instruction index.
+type Linked struct {
+	I   Instr
+	Tgt int32 // resolved target PC for branch-like ops; -1 if none
+}
+
+// Image is a linked, executable form of a Program: a flat code array with
+// resolved branch targets, a symbol table, and the initial data image. It is
+// what the simulator executes — the analogue of the binary the paper's tool
+// adapts.
+type Image struct {
+	Code  []Linked
+	Entry int
+
+	// FuncEntries maps function name to entry PC.
+	FuncEntries map[string]int
+	// FuncNames and FuncOf map a PC back to its containing function:
+	// FuncNames[FuncOf[pc]]. Used by profiling and the call-graph capture.
+	FuncNames []string
+	FuncOf    []int
+	// BlockStarts maps "func.label" to the block's first PC.
+	BlockStarts map[string]int
+	// BlockOf maps a PC to the index (within blockKeys) of its block.
+	blockKeys []string
+	BlockOf   []int
+
+	// Data is the initial memory image (64-bit words at byte addresses).
+	Data map[uint64]uint64
+}
+
+// BlockKey returns the "func.label" key of the block containing pc.
+func (im *Image) BlockKey(pc int) string { return im.blockKeys[im.BlockOf[pc]] }
+
+// NumBlocks returns the number of linked basic blocks.
+func (im *Image) NumBlocks() int { return len(im.blockKeys) }
+
+// BlockKeys returns the "func.label" keys in layout order.
+func (im *Image) BlockKeys() []string { return im.blockKeys }
+
+// Link flattens the program into an executable image, resolving all branch
+// targets. Functions and blocks are laid out in declaration order — slice
+// blocks appended after a function by the SSP code generator therefore land
+// after the function body, matching Figure 7's layout.
+func Link(p *Program) (*Image, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	im := &Image{
+		FuncEntries: make(map[string]int),
+		BlockStarts: make(map[string]int),
+		Data:        p.Data,
+	}
+	// First pass: assign addresses.
+	pc := 0
+	for fi, f := range p.Funcs {
+		im.FuncNames = append(im.FuncNames, f.Name)
+		im.FuncEntries[f.Name] = pc
+		for _, b := range f.Blocks {
+			key := f.Name + "." + b.Label
+			im.BlockStarts[key] = pc
+			bi := len(im.blockKeys)
+			im.blockKeys = append(im.blockKeys, key)
+			for range b.Instrs {
+				im.FuncOf = append(im.FuncOf, fi)
+				im.BlockOf = append(im.BlockOf, bi)
+				pc++
+			}
+			// Empty blocks still need a resolvable start address; they
+			// alias the next instruction but emit nothing.
+		}
+	}
+	im.Code = make([]Linked, 0, pc)
+	// Second pass: emit with resolved targets.
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				l := Linked{I: *in, Tgt: -1}
+				switch in.Op {
+				case OpBr, OpChk:
+					t, ok := im.BlockStarts[f.Name+"."+in.Target]
+					if !ok {
+						return nil, fmt.Errorf("ir: unresolved target %s.%s", f.Name, in.Target)
+					}
+					l.Tgt = int32(t)
+				case OpSpawn:
+					t, err := im.resolveSpawn(f.Name, in.Target)
+					if err != nil {
+						return nil, err
+					}
+					l.Tgt = int32(t)
+				case OpCall:
+					t, ok := im.FuncEntries[in.Target]
+					if !ok {
+						return nil, fmt.Errorf("ir: unresolved call %s", in.Target)
+					}
+					l.Tgt = int32(t)
+				case OpMovBR:
+					if in.Target != "" {
+						t, ok := im.FuncEntries[in.Target]
+						if !ok {
+							return nil, fmt.Errorf("ir: unresolved function address @%s", in.Target)
+						}
+						l.Tgt = int32(t)
+					}
+				}
+				im.Code = append(im.Code, l)
+			}
+		}
+	}
+	entry, ok := im.FuncEntries[p.Entry]
+	if !ok {
+		return nil, fmt.Errorf("ir: entry %q not linked", p.Entry)
+	}
+	im.Entry = entry
+	if len(im.Code) == 0 {
+		return nil, fmt.Errorf("ir: empty program")
+	}
+	return im, nil
+}
+
+// resolveSpawn resolves a spawn target: a local label, a "func.label" pair,
+// or a function name.
+func (im *Image) resolveSpawn(fn, target string) (int, error) {
+	if t, ok := im.BlockStarts[fn+"."+target]; ok {
+		return t, nil
+	}
+	if t, ok := im.BlockStarts[target]; ok {
+		return t, nil
+	}
+	if t, ok := im.FuncEntries[target]; ok {
+		return t, nil
+	}
+	return 0, fmt.Errorf("ir: unresolved spawn target %q in %s", target, fn)
+}

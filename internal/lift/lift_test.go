@@ -1,0 +1,175 @@
+package lift
+
+import (
+	"testing"
+
+	"ssp/internal/ir"
+	"ssp/internal/profile"
+	"ssp/internal/sim"
+	"ssp/internal/ssp"
+	"ssp/internal/workloads"
+)
+
+func tinyConfig() sim.Config {
+	c := sim.DefaultInOrder()
+	c.Mem.L1Size = 1 << 10
+	c.Mem.L2Size = 4 << 10
+	c.Mem.L3Size = 16 << 10
+	c.MaxCycles = 200_000_000
+	return c
+}
+
+func TestLiftRoundTripsEveryBenchmark(t *testing.T) {
+	for _, s := range workloads.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			p, want := s.Build(s.TestScale / 2)
+			img, err := ir.Link(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lifted, err := Lift(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			img2, err := ir.Link(lifted)
+			if err != nil {
+				t.Fatalf("relink: %v", err)
+			}
+			if len(img2.Code) != len(img.Code) {
+				t.Fatalf("code length changed: %d -> %d", len(img.Code), len(img2.Code))
+			}
+			for pc := range img.Code {
+				if img.Code[pc].I.Op != img2.Code[pc].I.Op || img.Code[pc].Tgt != img2.Code[pc].Tgt {
+					t.Fatalf("pc %d differs: %v/%d vs %v/%d", pc,
+						img.Code[pc].I.Op, img.Code[pc].Tgt, img2.Code[pc].I.Op, img2.Code[pc].Tgt)
+				}
+				if img.Code[pc].I.ID != img2.Code[pc].I.ID {
+					t.Fatalf("pc %d: ID changed %d -> %d", pc, img.Code[pc].I.ID, img2.Code[pc].I.ID)
+				}
+			}
+			m := sim.New(tinyConfig(), img2)
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if got := m.Mem.Load(workloads.ResultAddr); got != want {
+				t.Fatalf("lifted checksum = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestLiftRecoversFunctionsAndLoops(t *testing.T) {
+	spec, _ := workloads.ByName("health")
+	p, _ := spec.Build(spec.TestScale / 2)
+	img, err := ir.Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifted, err := Lift(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lifted.Funcs) != len(p.Funcs) {
+		t.Fatalf("recovered %d functions, want %d", len(lifted.Funcs), len(p.Funcs))
+	}
+	if lifted.FuncByName("sum_list") == nil {
+		t.Fatal("symbol name not preserved")
+	}
+	// The main loop's back edge must be recoverable as a block label.
+	mainFn := lifted.FuncByName("main")
+	if mainFn == nil || len(mainFn.Blocks) < 3 {
+		t.Fatalf("main not recovered with blocks: %+v", mainFn)
+	}
+}
+
+func TestLiftedBinaryIsAdaptable(t *testing.T) {
+	// The full binary-translation flow the paper anticipates: raw image ->
+	// lift -> profile -> SSP adapt -> relink -> faster binary.
+	spec, _ := workloads.ByName("mcf")
+	p, want := spec.Build(spec.TestScale)
+	img, err := ir.Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifted, err := Lift(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := profile.Collect(lifted, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enh, rep, err := ssp.Adapt(lifted, prof, ssp.DefaultOptions(), "lifted-mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumSlices() == 0 {
+		t.Fatal("no slices on the lifted binary")
+	}
+	img2, err := ir.Link(enh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sim.New(tinyConfig(), img).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(tinyConfig(), img2)
+	fast, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem.Load(workloads.ResultAddr); got != want {
+		t.Fatalf("adapted lifted binary checksum = %d, want %d", got, want)
+	}
+	speedup := float64(base.Cycles) / float64(fast.Cycles)
+	if speedup < 1.3 {
+		t.Fatalf("lifted-then-adapted speedup = %.2f, want >= 1.3", speedup)
+	}
+	t.Logf("lifted mcf: %.2fx with %d slices", speedup, rep.NumSlices())
+}
+
+func TestLiftRejectsEmptyImage(t *testing.T) {
+	if _, err := Lift(&ir.Image{}); err == nil {
+		t.Fatal("Lift accepted an empty image")
+	}
+}
+
+func TestLiftEnhancedBinary(t *testing.T) {
+	// Lifting an already-enhanced binary (with chk/stub/slice layout and
+	// cross-block spawns) must round-trip too.
+	spec, _ := workloads.ByName("mcf")
+	p, want := spec.Build(spec.TestScale / 2)
+	prof, err := profile.Collect(p, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enh, _, err := ssp.Adapt(p, prof, ssp.DefaultOptions(), "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := ir.Link(enh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifted, err := Lift(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, err := ir.Link(lifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(tinyConfig(), img2)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem.Load(workloads.ResultAddr); got != want {
+		t.Fatalf("lifted enhanced checksum = %d, want %d", got, want)
+	}
+	if res.Spawns == 0 {
+		t.Fatal("lifted enhanced binary spawned nothing")
+	}
+}

@@ -1,0 +1,180 @@
+// Package profile implements the profiling feedback of Figure 1: the
+// original binary is run on the simulator to collect cache profiles (which
+// identify delinquent loads, §2.2), basic-block frequencies and loop trip
+// counts (which drive speculative slicing and region selection, §3.1.2,
+// §3.4.1), and the dynamic call graph of indirect calls (§3.1.2).
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"ssp/internal/ir"
+	"ssp/internal/sim"
+	"ssp/internal/sim/mem"
+)
+
+// Profile is the feedback bundle handed to the post-pass tool.
+type Profile struct {
+	// InstrFreq maps instruction ID to its main-thread execution count.
+	InstrFreq map[int]uint64
+	// BlockFreq maps "func.label" to the block's entry count.
+	BlockFreq map[string]uint64
+	// Loads maps a load instruction ID to its cache behaviour.
+	Loads map[int]*mem.LoadStat
+	// TotalMissCycles sums miss cycles over all loads.
+	TotalMissCycles uint64
+	// CallEdges maps an indirect-call instruction ID to callee function
+	// names with counts.
+	CallEdges map[int]map[string]uint64
+	// Cycles is the baseline run's cycle count.
+	Cycles int64
+	// MemCfg records the memory latencies the profile was taken with, so
+	// latency estimation is consistent with the machine model.
+	MemCfg mem.Config
+}
+
+// Collect runs the program once on the given machine model with profiling
+// enabled and returns the feedback bundle.
+func Collect(p *ir.Program, cfg sim.Config) (*Profile, error) {
+	img, err := ir.Link(p)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Profile = true
+	res, err := sim.New(cfg, img).Run()
+	if err != nil {
+		return nil, err
+	}
+	if res.TimedOut {
+		return nil, fmt.Errorf("profile: run timed out after %d cycles", res.Cycles)
+	}
+	pr := &Profile{
+		InstrFreq: make(map[int]uint64),
+		BlockFreq: make(map[string]uint64),
+		Loads:     make(map[int]*mem.LoadStat),
+		CallEdges: make(map[int]map[string]uint64),
+		Cycles:    res.Cycles,
+		MemCfg:    cfg.Mem,
+	}
+	for pc, count := range res.PCCount {
+		if count == 0 {
+			continue
+		}
+		in := &img.Code[pc].I
+		pr.InstrFreq[in.ID] += count
+		// The block's entry count is its first instruction's count.
+		key := img.BlockKey(pc)
+		if start, ok := img.BlockStarts[key]; ok && start == pc {
+			pr.BlockFreq[key] += count
+		}
+	}
+	for id, stat := range res.Hier.ByLoad {
+		_, _, in := p.InstrByID(id)
+		if in == nil || in.Op != ir.OpLd {
+			continue
+		}
+		pr.Loads[id] = stat
+		pr.TotalMissCycles += stat.MissCycles
+	}
+	for callID, edges := range res.CallEdges {
+		m := make(map[string]uint64)
+		for pc, n := range edges {
+			if pc >= 0 && pc < len(img.FuncOf) {
+				m[img.FuncNames[img.FuncOf[pc]]] += n
+			}
+		}
+		pr.CallEdges[callID] = m
+	}
+	return pr, nil
+}
+
+// DelinquentLoads returns the IDs of the static loads that together account
+// for at least cutoff (e.g. 0.9) of all miss cycles, ranked by miss cycles,
+// capped at max entries: "the tool uses the cache profiles from the
+// simulator to identify the top delinquent loads that contribute to at least
+// 90% of the cache misses" (§2.2). "For many programs, only a small number
+// of static loads are responsible for the vast majority of cache misses."
+func (pr *Profile) DelinquentLoads(cutoff float64, max int) []int {
+	type cand struct {
+		id int
+		mc uint64
+	}
+	var cands []cand
+	for id, s := range pr.Loads {
+		if s.MissCycles > 0 {
+			cands = append(cands, cand{id, s.MissCycles})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].mc != cands[j].mc {
+			return cands[i].mc > cands[j].mc
+		}
+		return cands[i].id < cands[j].id
+	})
+	var out []int
+	var cum uint64
+	target := uint64(cutoff * float64(pr.TotalMissCycles))
+	for _, c := range cands {
+		if len(out) >= max || (cum >= target && len(out) > 0) {
+			break
+		}
+		out = append(out, c.id)
+		cum += c.mc
+	}
+	return out
+}
+
+// ExpectedLoadLatency estimates the average latency of the given load from
+// its profile: the L1 latency plus its average miss cycles per access. This
+// is the "latency of a memory operation determined by cache profiling" used
+// to annotate dependence edges for scheduling (§3.2.1).
+func (pr *Profile) ExpectedLoadLatency(id int) float64 {
+	s := pr.Loads[id]
+	if s == nil || s.Accesses == 0 {
+		return float64(pr.MemCfg.L1Lat)
+	}
+	return float64(pr.MemCfg.L1Lat) + float64(s.MissCycles)/float64(s.Accesses)
+}
+
+// Freq returns the execution count of the instruction.
+func (pr *Profile) Freq(in *ir.Instr) uint64 { return pr.InstrFreq[in.ID] }
+
+// BlockCount returns the entry count of block label in function fn.
+func (pr *Profile) BlockCount(fn, label string) uint64 {
+	return pr.BlockFreq[fn+"."+label]
+}
+
+// DominantCallee returns the most frequent callee recorded for the indirect
+// call with the given ID, or "" if none.
+func (pr *Profile) DominantCallee(callID int) string {
+	best, bestN := "", uint64(0)
+	names := make([]string, 0, len(pr.CallEdges[callID]))
+	for name := range pr.CallEdges[callID] {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if n := pr.CallEdges[callID][name]; n > bestN {
+			best, bestN = name, n
+		}
+	}
+	return best
+}
+
+// LoopTripCount estimates the average trip count of a loop whose header
+// block is headerKey and whose distinct entry count from outside is
+// entryCount: trips ≈ header executions / loop entries. Callers derive
+// entryCount from the preheader frequency; a zero entryCount yields the raw
+// header count (§3.4.1: "the trip counts are derived from block profiling if
+// available; otherwise, they are estimated").
+func (pr *Profile) LoopTripCount(headerKey string, entryCount uint64) float64 {
+	h := pr.BlockFreq[headerKey]
+	if h == 0 {
+		return 1
+	}
+	if entryCount == 0 {
+		return float64(h)
+	}
+	return float64(h) / float64(entryCount)
+}

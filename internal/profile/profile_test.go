@@ -1,0 +1,191 @@
+package profile
+
+import (
+	"bytes"
+	"testing"
+
+	"ssp/internal/ir"
+	"ssp/internal/sim"
+)
+
+func tinyConfig() sim.Config {
+	c := sim.DefaultInOrder()
+	c.Mem.L1Size = 1 << 10
+	c.Mem.L2Size = 4 << 10
+	c.Mem.L3Size = 16 << 10
+	return c
+}
+
+// loopProgram: an outer loop of n iterations around an inner loop of m
+// iterations, with a delinquent strided load in the inner loop.
+func loopProgram(n, m int) *ir.Program {
+	p := ir.NewProgram("main")
+	fb := ir.NewFunc(p, "main")
+	e := fb.Block("entry")
+	e.MovI(14, 0)        // i
+	e.MovI(20, 0x100000) // cursor
+	outer := fb.Block("outer")
+	outer.MovI(15, 0) // j
+	inner := fb.Block("inner")
+	inner.Ld(16, 20, 0)
+	inner.AddI(20, 20, 64)
+	inner.AddI(15, 15, 1)
+	inner.CmpI(ir.CondLT, 6, 7, 15, int64(m))
+	inner.On(6).Br("inner")
+	latch := fb.Block("latch")
+	latch.AddI(14, 14, 1)
+	latch.CmpI(ir.CondLT, 8, 9, 14, int64(n))
+	latch.On(8).Br("outer")
+	done := fb.Block("done")
+	done.Halt()
+	return p
+}
+
+func TestCollectBlockAndInstrFreq(t *testing.T) {
+	p := loopProgram(10, 20)
+	pr, err := Collect(p, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pr.BlockCount("main", "entry"); got != 1 {
+		t.Errorf("entry count = %d", got)
+	}
+	if got := pr.BlockCount("main", "outer"); got != 10 {
+		t.Errorf("outer count = %d", got)
+	}
+	if got := pr.BlockCount("main", "inner"); got != 200 {
+		t.Errorf("inner count = %d", got)
+	}
+	ld := p.Funcs[0].Blocks[2].Instrs[0]
+	if got := pr.Freq(ld); got != 200 {
+		t.Errorf("load executed %d times", got)
+	}
+}
+
+func TestLoopTripCount(t *testing.T) {
+	p := loopProgram(10, 20)
+	pr, err := Collect(p, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// inner loop: 200 header executions over 10 entries -> 20 trips.
+	if got := pr.LoopTripCount("main.inner", 10); got != 20 {
+		t.Errorf("inner trips = %v", got)
+	}
+	if got := pr.LoopTripCount("main.outer", 1); got != 10 {
+		t.Errorf("outer trips = %v", got)
+	}
+	if got := pr.LoopTripCount("main.inner", 0); got != 200 {
+		t.Errorf("trips with unknown entries = %v", got)
+	}
+	if got := pr.LoopTripCount("main.nosuch", 5); got != 1 {
+		t.Errorf("unknown header trips = %v", got)
+	}
+}
+
+func TestDelinquentLoadsOrderingAndCutoff(t *testing.T) {
+	p := loopProgram(4, 500)
+	pr, err := Collect(p, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dels := pr.DelinquentLoads(0.9, 10)
+	if len(dels) != 1 {
+		t.Fatalf("dels = %v, want the single strided load", dels)
+	}
+	// The max cap is honored.
+	if got := pr.DelinquentLoads(0.9, 0); len(got) != 0 {
+		t.Errorf("max=0 returned %v", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := loopProgram(5, 50)
+	pr, err := Collect(p, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != pr.Cycles || got.TotalMissCycles != pr.TotalMissCycles {
+		t.Fatalf("round trip changed totals: %+v vs %+v", got.Cycles, pr.Cycles)
+	}
+	if len(got.Loads) != len(pr.Loads) || len(got.BlockFreq) != len(pr.BlockFreq) {
+		t.Fatal("round trip dropped entries")
+	}
+	for id, s := range pr.Loads {
+		g := got.Loads[id]
+		if g == nil || g.MissCycles != s.MissCycles || g.Accesses != s.Accesses {
+			t.Fatalf("load %d stats changed", id)
+		}
+	}
+	d1 := pr.DelinquentLoads(0.9, 10)
+	d2 := got.DelinquentLoads(0.9, 10)
+	if len(d1) != len(d2) || (len(d1) > 0 && d1[0] != d2[0]) {
+		t.Fatalf("delinquent sets differ: %v vs %v", d1, d2)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("{nope")); err == nil {
+		t.Fatal("Load accepted malformed JSON")
+	}
+}
+
+func TestLoadFillsNilMaps(t *testing.T) {
+	pr, err := Load(bytes.NewBufferString("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.InstrFreq == nil || pr.BlockFreq == nil || pr.Loads == nil || pr.CallEdges == nil {
+		t.Fatal("Load left nil maps")
+	}
+}
+
+func TestDominantCalleeDeterminism(t *testing.T) {
+	pr := &Profile{CallEdges: map[int]map[string]uint64{
+		7: {"b": 5, "a": 5, "c": 3},
+	}}
+	// Equal counts: the lexicographically first name wins, deterministically.
+	for i := 0; i < 10; i++ {
+		if got := pr.DominantCallee(7); got != "a" {
+			t.Fatalf("DominantCallee = %q", got)
+		}
+	}
+	if got := pr.DominantCallee(99); got != "" {
+		t.Fatalf("unknown call site callee = %q", got)
+	}
+}
+
+func TestProfileIDsSurviveAsmRoundTrip(t *testing.T) {
+	// IDs are assigned in textual order on Parse, so a profile collected
+	// against a parsed program applies to a re-parse of the same text —
+	// the property the sspprof/sspgen file pipeline relies on.
+	p := loopProgram(5, 50)
+	text := ir.Format(p)
+	p1, err := ir.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ir.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := Collect(p1, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range pr.DelinquentLoads(0.9, 10) {
+		_, _, in1 := p1.InstrByID(id)
+		_, _, in2 := p2.InstrByID(id)
+		if in1 == nil || in2 == nil || in1.String() != in2.String() {
+			t.Fatalf("ID %d resolves differently across parses: %v vs %v", id, in1, in2)
+		}
+	}
+}

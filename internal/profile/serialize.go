@@ -1,0 +1,40 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ssp/internal/sim/mem"
+)
+
+// Save writes the profile as JSON. Instruction IDs are stable across
+// Format/Parse round trips of the same program text, so a profile collected
+// by cmd/sspprof can be consumed later by cmd/sspgen — the two-pass flow of
+// Figure 1.
+func (pr *Profile) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(pr)
+}
+
+// Load reads a profile written by Save.
+func Load(r io.Reader) (*Profile, error) {
+	var pr Profile
+	if err := json.NewDecoder(r).Decode(&pr); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	if pr.InstrFreq == nil {
+		pr.InstrFreq = map[int]uint64{}
+	}
+	if pr.BlockFreq == nil {
+		pr.BlockFreq = map[string]uint64{}
+	}
+	if pr.Loads == nil {
+		pr.Loads = map[int]*mem.LoadStat{}
+	}
+	if pr.CallEdges == nil {
+		pr.CallEdges = map[int]map[string]uint64{}
+	}
+	return &pr, nil
+}

@@ -1,0 +1,126 @@
+// Package bpred models the front-end predictors of Table 1: a 2k-entry
+// GSHARE direction predictor and a 256-entry 4-way associative BTB.
+package bpred
+
+// GShare is a global-history XOR-indexed table of 2-bit saturating counters.
+type GShare struct {
+	table   []uint8
+	history uint64
+	mask    uint64
+}
+
+// NewGShare builds a predictor with the given number of entries (power of
+// two; Table 1 uses 2048).
+func NewGShare(entries int) *GShare {
+	return &GShare{table: make([]uint8, entries), mask: uint64(entries - 1)}
+}
+
+func (g *GShare) index(pc uint64) uint64 { return (pc ^ g.history) & g.mask }
+
+// Predict returns the predicted direction for the branch at pc.
+func (g *GShare) Predict(pc uint64) bool { return g.table[g.index(pc)] >= 2 }
+
+// Update trains the predictor with the actual outcome and shifts it into the
+// global history.
+func (g *GShare) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	if taken {
+		if g.table[i] < 3 {
+			g.table[i]++
+		}
+	} else if g.table[i] > 0 {
+		g.table[i]--
+	}
+	g.history = g.history<<1 | b2u(taken)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// BTB is a set-associative branch target buffer. Since IR branch targets are
+// static, a BTB hit always yields the correct target; a miss on a taken
+// branch is a front-end misfetch charged like a misprediction.
+type BTB struct {
+	ways  int
+	sets  int
+	tags  []uint64
+	lru   []int64
+	clock int64
+}
+
+// NewBTB builds a BTB with the given entries and associativity (Table 1:
+// 256 entries, 4-way).
+func NewBTB(entries, ways int) *BTB {
+	return &BTB{ways: ways, sets: entries / ways, tags: make([]uint64, entries), lru: make([]int64, entries)}
+}
+
+// Hit probes the BTB for the branch at pc.
+func (b *BTB) Hit(pc uint64) bool {
+	t := pc + 1
+	base := (int(pc) & (b.sets - 1)) * b.ways
+	for w := 0; w < b.ways; w++ {
+		if b.tags[base+w] == t {
+			b.clock++
+			b.lru[base+w] = b.clock
+			return true
+		}
+	}
+	return false
+}
+
+// Install records the branch at pc (called when a taken branch resolves).
+func (b *BTB) Install(pc uint64) {
+	t := pc + 1
+	base := (int(pc) & (b.sets - 1)) * b.ways
+	victim := base
+	b.clock++
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.tags[i] == t {
+			b.lru[i] = b.clock
+			return
+		}
+		if b.tags[i] == 0 {
+			victim = i
+			break
+		}
+		if b.lru[i] < b.lru[victim] {
+			victim = i
+		}
+	}
+	b.tags[victim] = t
+	b.lru[victim] = b.clock
+}
+
+// Predictor bundles direction and target prediction for one front end. Each
+// machine model instantiates one (shared across SMT contexts, as GSHARE and
+// BTB are core-level structures).
+type Predictor struct {
+	Dir *GShare
+	Tgt *BTB
+}
+
+// New returns the Table 1 predictor: 2k-entry GSHARE, 256-entry 4-way BTB.
+func New() *Predictor {
+	return &Predictor{Dir: NewGShare(2048), Tgt: NewBTB(256, 4)}
+}
+
+// PredictAndTrain consults the predictor for a conditional branch at pc with
+// actual outcome taken, trains it, and reports whether the front end
+// mispredicted (wrong direction, or taken with a BTB miss).
+func (p *Predictor) PredictAndTrain(pc uint64, taken bool) bool {
+	predicted := p.Dir.Predict(pc)
+	btbHit := p.Tgt.Hit(pc)
+	p.Dir.Update(pc, taken)
+	if taken {
+		p.Tgt.Install(pc)
+	}
+	if predicted != taken {
+		return true
+	}
+	return taken && !btbHit
+}

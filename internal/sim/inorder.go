@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"ssp/internal/ir"
+	"ssp/internal/sim/mem"
+)
+
+// runInOrder is the 12-stage in-order SMT pipeline: per-thread program-order
+// issue gated by a register scoreboard (an instruction stalls when it uses
+// the destination of an outstanding load — the Itanium use-stall the paper
+// exploits, §4.3), shared function units, and shared issue bandwidth of two
+// bundles per cycle from at most two threads.
+func (m *Machine) runInOrder() {
+	main := m.main()
+	var sel [8]*Thread
+	for !m.mainDone {
+		if m.now >= m.Cfg.MaxCycles {
+			m.res.TimedOut = true
+			return
+		}
+		m.now++
+		intU, memU, brU, fpU := m.Cfg.IntUnits, m.Cfg.MemPorts, m.Cfg.BrUnits, m.Cfg.FPUnits
+
+		// Thread selection: the non-speculative thread has priority; the
+		// remaining bundle goes to speculative threads round-robin.
+		n := 0
+		sel[n] = main
+		n++
+		for scan, picked := 0, 0; scan < len(m.threads) && picked < m.Cfg.ThreadsPerCycle-1 && n < len(sel); scan++ {
+			t := m.threads[(m.rr+scan)%len(m.threads)]
+			if t == main || !t.active || t.frontStallUntil > m.now {
+				continue
+			}
+			sel[n] = t
+			n++
+			picked++
+			m.rr = (t.idx + 1) % len(m.threads)
+		}
+		slots := m.Cfg.IssueWidth / n
+
+		issuedMain := 0
+		stallLevel := mem.Level(0)
+		stalledOnLoad := false
+		for ti := 0; ti < n; ti++ {
+			t := sel[ti]
+			for s := 0; s < slots; s++ {
+				issued, cont, lvl, onLoad := m.issueInOrder(t, &intU, &memU, &brU, &fpU)
+				if t == main {
+					if issued {
+						issuedMain++
+					} else if onLoad {
+						stalledOnLoad, stallLevel = true, lvl
+					}
+				}
+				if !issued || !cont || m.mainDone {
+					break
+				}
+			}
+			if m.mainDone {
+				break
+			}
+		}
+		m.accountCycle(main, issuedMain, stalledOnLoad, stallLevel)
+		m.recordUtilization()
+	}
+}
+
+// accountCycle classifies the cycle for the Figure 10 breakdown.
+func (m *Machine) accountCycle(main *Thread, issuedMain int, stalledOnLoad bool, stallLevel mem.Level) {
+	var cat Category
+	switch {
+	case issuedMain > 0:
+		if _, any := main.deepestOutstanding(m.now); any {
+			cat = CatCacheExec
+		} else {
+			cat = CatExec
+		}
+	case stalledOnLoad:
+		cat = missCategory(stallLevel)
+	case main.frontStallUntil > m.now:
+		cat = CatOther
+	default:
+		if lvl, any := main.deepestOutstanding(m.now); any {
+			cat = missCategory(lvl)
+		} else {
+			cat = CatOther
+		}
+	}
+	m.res.Breakdown[cat]++
+}
+
+// missCategory maps the level that satisfies an outstanding load to the
+// paper's stall category: a load satisfied from memory is an L3 miss, from
+// L3 an L2 miss, from L2 an L1 miss.
+func missCategory(lvl mem.Level) Category {
+	switch lvl {
+	case mem.Mem:
+		return CatL3
+	case mem.L3:
+		return CatL2
+	default:
+		return CatL1
+	}
+}
+
+// issueInOrder tries to issue one instruction from t. It reports whether an
+// instruction issued, whether the thread may continue issuing this cycle,
+// and — when blocked — whether the block is a scoreboard stall on an
+// outstanding load and at which level.
+func (m *Machine) issueInOrder(t *Thread, intU, memU, brU, fpU *int) (issued, cont bool, lvl mem.Level, onLoad bool) {
+	if !t.active || t.frontStallUntil > m.now {
+		return false, false, 0, false
+	}
+	pc := t.pc
+	d := &m.dec[pc]
+	// Structural hazard: required unit busy.
+	switch d.fu {
+	case fuInt:
+		if *intU == 0 {
+			return false, false, 0, false
+		}
+	case fuMem:
+		if *memU == 0 {
+			return false, false, 0, false
+		}
+	case fuBr:
+		if *brU == 0 {
+			return false, false, 0, false
+		}
+	case fuFP:
+		if *fpU == 0 {
+			return false, false, 0, false
+		}
+	}
+	// Scoreboard: all sources ready.
+	for _, loc := range d.uses {
+		if t.ready[loc] > m.now {
+			if l := t.loadLevel[loc]; l != 0 {
+				return false, false, mem.Level(l - 1), true
+			}
+			return false, false, 0, false
+		}
+	}
+	switch d.fu {
+	case fuInt:
+		*intU--
+	case fuMem:
+		*memU--
+	case fuBr:
+		*brU--
+	case fuFP:
+		*fpU--
+	}
+
+	ef := m.execArch(t, pc)
+	t.instrs++
+	if t.spec {
+		m.res.SpecInstrs++
+		if t.instrs > m.Cfg.MaxSpecInstrs {
+			ef.kill = true
+		}
+	} else {
+		m.res.MainInstrs++
+		if m.res.PCCount != nil {
+			m.res.PCCount[pc]++
+		}
+	}
+
+	// Default completion time for defined locations.
+	for _, loc := range d.defs {
+		t.ready[loc] = m.now + d.lat
+		t.loadLevel[loc] = 0
+	}
+	if !ef.nullified {
+		switch ef.memKind {
+		case memLoad:
+			acc := m.Hier.Access(ef.memID, ef.memAddr, m.now, true)
+			t.ready[ef.loadDest] = m.now + acc.Latency
+			if acc.Level != mem.L1 {
+				t.loadLevel[ef.loadDest] = uint8(acc.Level) + 1
+				t.pending = append(t.pending, pendingFill{readyAt: m.now + acc.Latency, level: acc.Level})
+			}
+		case memStore:
+			m.Hier.Access(ef.memID, ef.memAddr, m.now, true)
+		case memPrefetch:
+			m.Hier.Prefetch(ef.memID, ef.memAddr, m.now)
+		}
+	}
+	in := &m.Img.Code[pc].I
+	if ef.brCond {
+		if m.Pred.PredictAndTrain(uint64(pc), ef.brTaken && !ef.nullified) {
+			t.frontStallUntil = m.now + m.Cfg.MispredictPenalty
+			m.res.Mispredicts++
+		}
+	}
+	if in.Op == ir.OpChk && ef.nextPC != pc+1 {
+		// The lightweight exception flushes the pipeline (§4.4.1).
+		t.frontStallUntil = m.now + m.Cfg.SpawnFlushPenalty
+	}
+	if ef.kill {
+		m.killThread(t)
+		return true, false, 0, false
+	}
+	if ef.halt {
+		m.mainDone = true
+		return true, false, 0, false
+	}
+	t.pc = ef.nextPC
+	return true, ef.nextPC == pc+1, 0, false
+}

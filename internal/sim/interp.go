@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"fmt"
+
+	"ssp/internal/ir"
+	"ssp/internal/sim/mem"
+)
+
+// InterpResult is the outcome of a pure functional interpretation.
+type InterpResult struct {
+	Instrs int64
+	Regs   [ir.NumRegs]uint64
+	Mem    *mem.Memory
+}
+
+// Interpret executes only the main thread functionally, with no timing and
+// no speculative contexts: every chk.c finds no free context (it behaves as
+// a nop, exactly its architectural fallback) and every spawn is ignored. It
+// is the reference semantics the cycle-level engines are differentially
+// tested against, and doubles as a fast sanity check that an SSP-enhanced
+// binary leaves the main thread's architectural behaviour unchanged (§2:
+// speculative execution "does not alter the architecture state of the main
+// thread").
+func Interpret(img *ir.Image, maxInstrs int64) (*InterpResult, error) {
+	m := New(DefaultInOrder(), img)
+	// Occupy all non-main contexts so chk.c/spawn never fire.
+	for _, t := range m.threads[1:] {
+		t.active = true
+	}
+	t := m.main()
+	t.active = true
+	t.pc = img.Entry
+	var n int64
+	for n < maxInstrs {
+		ef := m.execArch(t, t.pc)
+		n++
+		if ef.halt {
+			return &InterpResult{Instrs: n, Regs: t.regs, Mem: m.Mem}, nil
+		}
+		if ef.kill {
+			return nil, fmt.Errorf("sim: main thread executed kill at pc %d", t.pc)
+		}
+		t.pc = ef.nextPC
+	}
+	return nil, fmt.Errorf("sim: interpretation exceeded %d instructions", maxInstrs)
+}
+
+// RunProgram links and runs a program under the given configuration.
+func RunProgram(cfg Config, p *ir.Program) (*Result, error) {
+	img, err := ir.Link(p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := New(cfg, img).Run()
+	if err != nil {
+		return nil, err
+	}
+	if res.TimedOut {
+		return res, fmt.Errorf("sim: watchdog expired after %d cycles", res.Cycles)
+	}
+	return res, nil
+}

@@ -1,0 +1,493 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"ssp/internal/ir"
+	"ssp/internal/sim/bpred"
+	"ssp/internal/sim/mem"
+)
+
+// fuClass groups opcodes by the function unit they occupy.
+type fuClass uint8
+
+const (
+	fuNone fuClass = iota
+	fuInt
+	fuMem
+	fuBr
+	fuFP
+)
+
+// libSlots is the number of live-in buffer slots per context (the modelled
+// RSE backing-store window). The paper's slices need ~3-5 live-ins
+// (Table 2).
+const libSlots = 16
+
+// Thread is one hardware thread context.
+type Thread struct {
+	idx    int
+	active bool
+	spec   bool
+
+	regs  [ir.NumRegs]uint64
+	preds [ir.NumPreds]bool
+	brs   [ir.NumBRs]uint64
+	fregs [ir.NumFRs]float64
+	pc    int
+
+	inLIB  [libSlots]uint64
+	outLIB [libSlots]uint64
+
+	// resumePC is where the main thread resumes after a chk.c stub, set
+	// when the exception is taken and consumed by the stub's spawn
+	// (Figure 7: "The main thread resumes its normal execution after
+	// executing the stub block as its recovery code").
+	resumePC int
+
+	// frontStallUntil blocks issue/dispatch until the given cycle
+	// (misprediction refill, spawn flush, thread startup).
+	frontStallUntil int64
+	// lastChkTaken rate-limits chk.c exceptions (Config.SpawnCooldown).
+	lastChkTaken int64
+
+	instrs int64
+
+	// In-order scoreboard: per-location ready cycle and, for locations
+	// produced by an outstanding load, the satisfying level + 1.
+	ready     [ir.NumLocs]int64
+	loadLevel [ir.NumLocs]uint8
+
+	// pending tracks outstanding cache fills (for accounting).
+	pending []pendingFill
+
+	// OOO state (nil on the in-order model).
+	win *window
+}
+
+type pendingFill struct {
+	readyAt int64
+	level   mem.Level
+}
+
+// deepestOutstanding returns the deepest level among outstanding fills, or
+// (0,false) when none remain. Completed entries are compacted away.
+func (t *Thread) deepestOutstanding(now int64) (mem.Level, bool) {
+	out := t.pending[:0]
+	var deepest mem.Level
+	found := false
+	for _, p := range t.pending {
+		if p.readyAt > now {
+			out = append(out, p)
+			if !found || p.level > deepest {
+				deepest = p.level
+				found = true
+			}
+		}
+	}
+	t.pending = out
+	return deepest, found
+}
+
+// decoded caches per-PC analysis of the linked code.
+type decoded struct {
+	uses []ir.Loc
+	defs []ir.Loc
+	fu   fuClass
+	lat  int64
+}
+
+// Machine simulates one program on one machine model.
+type Machine struct {
+	Cfg  Config
+	Img  *ir.Image
+	Mem  *mem.Memory
+	Hier *mem.Hierarchy
+	Pred *bpred.Predictor
+
+	threads []*Thread
+	dec     []decoded
+	now     int64
+	res     Result
+	tracer  *Tracer
+
+	mainDone bool
+	rr       int // round-robin cursor over speculative threads
+}
+
+// New builds a machine for the image under the given configuration.
+func New(cfg Config, img *ir.Image) *Machine {
+	m := &Machine{
+		Cfg:  cfg,
+		Img:  img,
+		Mem:  mem.NewMemory(),
+		Hier: mem.NewHierarchy(cfg.Mem),
+		Pred: bpred.New(),
+	}
+	m.Mem.Install(img.Data)
+	m.threads = make([]*Thread, cfg.Contexts)
+	for i := range m.threads {
+		m.threads[i] = &Thread{idx: i, resumePC: -1, lastChkTaken: -1 << 40}
+	}
+	m.dec = make([]decoded, len(img.Code))
+	for pc := range img.Code {
+		in := &img.Code[pc].I
+		d := &m.dec[pc]
+		d.uses = in.AppendUses(nil)
+		d.defs = in.AppendDefs(nil)
+		d.fu, d.lat = classify(cfg, in)
+	}
+	if cfg.Profile {
+		m.res.PCCount = make([]uint64, len(img.Code))
+		m.res.CallEdges = make(map[int]map[int]uint64)
+	}
+	m.res.SpecActiveHist = make([]int64, cfg.Contexts)
+	return m
+}
+
+// recordUtilization tallies the number of active speculative contexts this
+// cycle.
+func (m *Machine) recordUtilization() {
+	n := 0
+	for _, t := range m.threads {
+		if t.active && t.spec {
+			n++
+		}
+	}
+	if n < len(m.res.SpecActiveHist) {
+		m.res.SpecActiveHist[n]++
+	}
+}
+
+func classify(cfg Config, in *ir.Instr) (fuClass, int64) {
+	switch in.Op {
+	case ir.OpNop, ir.OpKill, ir.OpHalt:
+		return fuNone, 1
+	case ir.OpMul:
+		return fuInt, cfg.MulLat
+	case ir.OpMov, ir.OpMovI, ir.OpCmp, ir.OpMovFromBR, ir.OpMovBR,
+		ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr:
+		return fuInt, 1
+	case ir.OpLd, ir.OpSt, ir.OpLfetch, ir.OpFLd, ir.OpFSt:
+		return fuMem, 1 // loads get their latency from the hierarchy
+	case ir.OpLiw, ir.OpLir:
+		return fuMem, cfg.LIBCopyLat
+	case ir.OpBr, ir.OpCall, ir.OpCallB, ir.OpRet, ir.OpChk, ir.OpSpawn:
+		return fuBr, 1
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFMA, ir.OpFCmp:
+		return fuFP, cfg.FPLat
+	case ir.OpSetF, ir.OpGetF:
+		return fuInt, 2 // cross-file moves take an extra cycle
+	}
+	return fuInt, 1
+}
+
+// main returns the main thread (context 0).
+func (m *Machine) main() *Thread { return m.threads[0] }
+
+// freeContext returns an inactive context, or nil.
+func (m *Machine) freeContext() *Thread {
+	for _, t := range m.threads {
+		if !t.active {
+			return t
+		}
+	}
+	return nil
+}
+
+// archEffect captures everything the engines need to apply timing after the
+// architectural execution of one instruction.
+type archEffect struct {
+	nextPC    int
+	nullified bool
+
+	memKind  uint8 // 0 none, 1 load, 2 store, 3 prefetch
+	memAddr  uint64
+	memID    int
+	loadDest ir.Loc
+
+	brCond  bool // conditional branch needing prediction
+	brTaken bool
+
+	halt bool
+	kill bool
+}
+
+const (
+	memNone uint8 = iota
+	memLoad
+	memStore
+	memPrefetch
+)
+
+// execArch performs the architectural effects of the instruction at pc for
+// thread t: register, predicate, branch-register, memory, live-in buffer,
+// spawn and chk.c context effects, and the next PC. Timing (latencies, FU
+// occupancy, penalties) is the engines' business.
+func (m *Machine) execArch(t *Thread, pc int) archEffect {
+	if m.tracer != nil {
+		m.trace(t, pc)
+	}
+	l := &m.Img.Code[pc]
+	in := &l.I
+	ef := archEffect{nextPC: pc + 1, memID: in.ID}
+	if in.Qp != ir.PTrue && !t.preds[in.Qp] {
+		ef.nullified = true
+		if in.Op == ir.OpBr {
+			ef.brCond = true // trained as not-taken
+		}
+		return ef
+	}
+	op2 := func() uint64 {
+		if in.UseImm {
+			return uint64(in.Imm)
+		}
+		return t.regs[in.Rb]
+	}
+	setReg := func(r ir.Reg, v uint64) {
+		if r != ir.RegZero {
+			t.regs[r] = v
+		}
+	}
+	switch in.Op {
+	case ir.OpNop:
+	case ir.OpAdd:
+		setReg(in.Rd, t.regs[in.Ra]+op2())
+	case ir.OpSub:
+		setReg(in.Rd, t.regs[in.Ra]-op2())
+	case ir.OpMul:
+		setReg(in.Rd, t.regs[in.Ra]*op2())
+	case ir.OpAnd:
+		setReg(in.Rd, t.regs[in.Ra]&op2())
+	case ir.OpOr:
+		setReg(in.Rd, t.regs[in.Ra]|op2())
+	case ir.OpXor:
+		setReg(in.Rd, t.regs[in.Ra]^op2())
+	case ir.OpShl:
+		setReg(in.Rd, t.regs[in.Ra]<<(op2()&63))
+	case ir.OpShr:
+		setReg(in.Rd, t.regs[in.Ra]>>(op2()&63))
+	case ir.OpMov:
+		setReg(in.Rd, t.regs[in.Ra])
+	case ir.OpMovI:
+		setReg(in.Rd, uint64(in.Imm))
+	case ir.OpCmp:
+		a, b := t.regs[in.Ra], op2()
+		var r bool
+		switch in.Cond {
+		case ir.CondEQ:
+			r = a == b
+		case ir.CondNE:
+			r = a != b
+		case ir.CondLT:
+			r = int64(a) < int64(b)
+		case ir.CondLE:
+			r = int64(a) <= int64(b)
+		case ir.CondGT:
+			r = int64(a) > int64(b)
+		case ir.CondGE:
+			r = int64(a) >= int64(b)
+		case ir.CondLTU:
+			r = a < b
+		case ir.CondGEU:
+			r = a >= b
+		}
+		if in.Pd1 != ir.PTrue {
+			t.preds[in.Pd1] = r
+		}
+		if in.Pd2 != ir.PTrue {
+			t.preds[in.Pd2] = !r
+		}
+	case ir.OpLd:
+		addr := t.regs[in.Ra] + uint64(in.Disp)
+		setReg(in.Rd, m.Mem.Load(addr))
+		if in.PostInc != 0 {
+			setReg(in.Ra, t.regs[in.Ra]+uint64(in.PostInc))
+		}
+		ef.memKind, ef.memAddr = memLoad, addr
+		ef.loadDest = ir.GRLoc(in.Rd)
+	case ir.OpSt:
+		addr := t.regs[in.Ra] + uint64(in.Disp)
+		if t.spec {
+			// P-slices never contain stores (§2); if one sneaks into a
+			// speculative thread the hardware suppresses it so the main
+			// thread's architectural state is never altered.
+			m.res.SpecStores++
+		} else {
+			m.Mem.Store(addr, t.regs[in.Rb])
+			ef.memKind, ef.memAddr = memStore, addr
+		}
+	case ir.OpLfetch:
+		ef.memKind, ef.memAddr = memPrefetch, t.regs[in.Ra]+uint64(in.Disp)
+	case ir.OpBr:
+		ef.brTaken = true
+		ef.brCond = in.Qp != ir.PTrue
+		ef.nextPC = int(l.Tgt)
+	case ir.OpCall:
+		t.brs[in.Bd] = uint64(pc + 1)
+		ef.nextPC = int(l.Tgt)
+	case ir.OpCallB:
+		tgt := int(t.brs[in.Bs])
+		t.brs[in.Bd] = uint64(pc + 1)
+		ef.nextPC = tgt
+		if m.res.CallEdges != nil && !t.spec {
+			edges := m.res.CallEdges[in.ID]
+			if edges == nil {
+				edges = make(map[int]uint64)
+				m.res.CallEdges[in.ID] = edges
+			}
+			edges[tgt]++
+		}
+	case ir.OpRet:
+		ef.nextPC = int(t.brs[in.Bs])
+	case ir.OpMovBR:
+		if in.Target != "" {
+			t.brs[in.Bd] = uint64(l.Tgt)
+		} else {
+			t.brs[in.Bd] = t.regs[in.Ra]
+		}
+	case ir.OpMovFromBR:
+		setReg(in.Rd, t.brs[in.Bs])
+	case ir.OpChk:
+		if !t.spec && m.now-t.lastChkTaken >= m.Cfg.SpawnCooldown {
+			if m.freeContext() != nil {
+				// Lightweight exception: divert to the stub block.
+				m.res.ChkTaken++
+				t.lastChkTaken = m.now
+				t.resumePC = pc + 1
+				ef.nextPC = int(l.Tgt)
+				ef.brTaken = true
+			}
+		}
+	case ir.OpSpawn:
+		if c := m.freeContext(); c != nil {
+			m.startThread(c, int(l.Tgt), t)
+			m.res.Spawns++
+		} else {
+			m.res.SpawnsIgnored++
+		}
+		if t.resumePC >= 0 {
+			ef.nextPC = t.resumePC
+			t.resumePC = -1
+			ef.brTaken = true
+		}
+	case ir.OpLiw:
+		t.outLIB[in.Imm&(libSlots-1)] = t.regs[in.Ra]
+	case ir.OpLir:
+		setReg(in.Rd, t.inLIB[in.Imm&(libSlots-1)])
+	case ir.OpKill:
+		ef.kill = true
+	case ir.OpHalt:
+		if t.spec {
+			ef.kill = true
+		} else {
+			ef.halt = true
+		}
+	case ir.OpFAdd:
+		t.setFR(in.Fd, t.fr(in.Fa)+t.fr(in.Fb))
+	case ir.OpFSub:
+		t.setFR(in.Fd, t.fr(in.Fa)-t.fr(in.Fb))
+	case ir.OpFMul:
+		t.setFR(in.Fd, t.fr(in.Fa)*t.fr(in.Fb))
+	case ir.OpFMA:
+		t.setFR(in.Fd, t.fr(in.Fa)*t.fr(in.Fb)+t.fr(in.Fc))
+	case ir.OpFLd:
+		addr := t.regs[in.Ra] + uint64(in.Disp)
+		t.setFR(in.Fd, math.Float64frombits(m.Mem.Load(addr)))
+		ef.memKind, ef.memAddr = memLoad, addr
+		ef.loadDest = ir.FRLoc(in.Fd)
+	case ir.OpFSt:
+		addr := t.regs[in.Ra] + uint64(in.Disp)
+		if t.spec {
+			m.res.SpecStores++
+		} else {
+			m.Mem.Store(addr, math.Float64bits(t.fr(in.Fa)))
+			ef.memKind, ef.memAddr = memStore, addr
+		}
+	case ir.OpFCmp:
+		a, b := t.fr(in.Fa), t.fr(in.Fb)
+		var r bool
+		switch in.Cond {
+		case ir.CondEQ:
+			r = a == b
+		case ir.CondNE:
+			r = a != b
+		case ir.CondLT, ir.CondLTU:
+			r = a < b
+		case ir.CondLE:
+			r = a <= b
+		case ir.CondGT:
+			r = a > b
+		case ir.CondGE, ir.CondGEU:
+			r = a >= b
+		}
+		if in.Pd1 != ir.PTrue {
+			t.preds[in.Pd1] = r
+		}
+		if in.Pd2 != ir.PTrue {
+			t.preds[in.Pd2] = !r
+		}
+	case ir.OpSetF:
+		t.setFR(in.Fd, math.Float64frombits(t.regs[in.Ra]))
+	case ir.OpGetF:
+		setReg(in.Rd, math.Float64bits(t.fr(in.Fa)))
+	}
+	return ef
+}
+
+// fr reads an FP register, honoring the hardwired f0 = +0.0 and f1 = +1.0.
+func (t *Thread) fr(f ir.FR) float64 {
+	switch f {
+	case ir.FZero:
+		return 0
+	case ir.FOne:
+		return 1
+	}
+	return t.fregs[f]
+}
+
+// setFR writes an FP register; writes to the hardwired f0/f1 are dropped.
+func (t *Thread) setFR(f ir.FR, v float64) {
+	if f != ir.FZero && f != ir.FOne {
+		t.fregs[f] = v
+	}
+}
+
+// startThread initializes a speculative thread at the target PC, handing it
+// the parent's outgoing live-in buffer — the inter-thread communication path
+// through the RSE backing store (§2.1).
+func (m *Machine) startThread(c *Thread, pc int, parent *Thread) {
+	idx := c.idx
+	*c = Thread{idx: idx, active: true, spec: true, pc: pc, resumePC: -1}
+	c.inLIB = parent.outLIB
+	c.frontStallUntil = m.now + m.Cfg.SpawnStartup
+	if m.Cfg.Model == OOO {
+		c.win = newWindow(m.Cfg.ROBSize)
+	}
+}
+
+// killThread frees a context.
+func (m *Machine) killThread(t *Thread) {
+	t.active = false
+	t.win = nil
+}
+
+// Run executes the program to completion of the main thread and returns the
+// result. It dispatches on the configured model.
+func (m *Machine) Run() (*Result, error) {
+	m.main().active = true
+	m.main().pc = m.Img.Entry
+	switch m.Cfg.Model {
+	case InOrder:
+		m.runInOrder()
+	case OOO:
+		m.runOOO()
+	default:
+		return nil, fmt.Errorf("sim: unknown model %v", m.Cfg.Model)
+	}
+	m.res.Cycles = m.now
+	m.res.Hier = m.Hier
+	r := m.res
+	return &r, nil
+}

@@ -1,0 +1,84 @@
+package mem
+
+// Cache is one level of set-associative cache with LRU replacement. Only
+// tags are tracked: data always comes from the flat Memory (timing and
+// contents are decoupled, as in trace-driven simulators).
+type Cache struct {
+	ways     int
+	sets     int
+	lineBits uint
+	tags     []uint64 // sets*ways entries; 0 = invalid (tag 0 reserved via +1 bias)
+	lru      []int64
+	clock    int64
+}
+
+// NewCache builds a cache of the given total size in bytes, associativity,
+// and line size in bytes (must be powers of two).
+func NewCache(sizeBytes, ways, lineBytes int) *Cache {
+	lines := sizeBytes / lineBytes
+	sets := lines / ways
+	lb := uint(0)
+	for 1<<lb < lineBytes {
+		lb++
+	}
+	return &Cache{
+		ways:     ways,
+		sets:     sets,
+		lineBits: lb,
+		tags:     make([]uint64, sets*ways),
+		lru:      make([]int64, sets*ways),
+	}
+}
+
+// line returns the line address (addr with offset bits stripped).
+func (c *Cache) line(addr uint64) uint64 { return addr >> c.lineBits }
+
+// Lookup probes the cache; on a hit the line's LRU stamp is refreshed.
+func (c *Cache) Lookup(addr uint64) bool {
+	ln := c.line(addr) + 1
+	set := int(ln) & (c.sets - 1)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == ln {
+			c.clock++
+			c.lru[base+w] = c.clock
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the line, evicting the LRU way if the set is full. Inserting
+// a line already present just refreshes it.
+func (c *Cache) Insert(addr uint64) {
+	ln := c.line(addr) + 1
+	set := int(ln) & (c.sets - 1)
+	base := set * c.ways
+	victim := base
+	c.clock++
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.tags[i] == ln {
+			c.lru[i] = c.clock
+			return
+		}
+		if c.tags[i] == 0 {
+			victim = i
+			break
+		}
+		if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	c.tags[victim] = ln
+	c.lru[victim] = c.clock
+}
+
+// Reset invalidates the whole cache.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+	}
+	c.clock = 0
+}

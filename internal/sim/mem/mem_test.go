@@ -1,0 +1,328 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryLoadStore(t *testing.T) {
+	m := NewMemory()
+	if got := m.Load(0x1234); got != 0 {
+		t.Fatalf("uninitialized load = %d", got)
+	}
+	m.Store(0x1000, 42)
+	if got := m.Load(0x1000); got != 42 {
+		t.Fatalf("load = %d, want 42", got)
+	}
+	// Word aliasing: unaligned address hits the same word.
+	if got := m.Load(0x1003); got != 42 {
+		t.Fatalf("unaligned load = %d, want 42", got)
+	}
+	m.Store(0x1008, 7)
+	if m.Load(0x1000) != 42 || m.Load(0x1008) != 7 {
+		t.Fatal("adjacent words interfere")
+	}
+}
+
+func TestMemoryInstall(t *testing.T) {
+	m := NewMemory()
+	m.Install(map[uint64]uint64{8: 1, 16: 2})
+	if m.Load(8) != 1 || m.Load(16) != 2 {
+		t.Fatal("Install lost data")
+	}
+}
+
+// TestQuickMemory: property — memory behaves like a map of aligned words.
+func TestQuickMemory(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewMemory()
+		ref := map[uint64]uint64{}
+		for i := 0; i < 300; i++ {
+			addr := uint64(r.Intn(1 << 20))
+			if r.Intn(2) == 0 {
+				v := r.Uint64()
+				m.Store(addr, v)
+				ref[addr>>3] = v
+			} else if m.Load(addr) != ref[addr>>3] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(1024, 2, 64) // 16 lines, 8 sets, 2 ways
+	if c.Lookup(0) {
+		t.Fatal("hit in empty cache")
+	}
+	c.Insert(0)
+	if !c.Lookup(0) || !c.Lookup(63) {
+		t.Fatal("line not resident after insert")
+	}
+	if c.Lookup(64) {
+		t.Fatal("adjacent line falsely hit")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(1024, 2, 64) // 8 sets, 2 ways; lines mapping to set 0: 0, 8*64, 16*64...
+	setStride := uint64(8 * 64)
+	c.Insert(0)
+	c.Insert(setStride)
+	c.Lookup(0) // refresh line 0; line setStride is now LRU
+	c.Insert(2 * setStride)
+	if !c.Lookup(0) {
+		t.Fatal("MRU line evicted")
+	}
+	if c.Lookup(setStride) {
+		t.Fatal("LRU line survived eviction")
+	}
+	if !c.Lookup(2 * setStride) {
+		t.Fatal("inserted line missing")
+	}
+}
+
+// TestQuickCacheAssociativity: property — within one set, the W most
+// recently touched distinct lines always hit.
+func TestQuickCacheAssociativity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ways := 1 + r.Intn(4)
+		sets := 8
+		c := NewCache(sets*ways*64, ways, 64)
+		// Touch random lines of set 0 and track recency.
+		var recent []uint64
+		touch := func(line uint64) {
+			for i, l := range recent {
+				if l == line {
+					recent = append(recent[:i], recent[i+1:]...)
+					break
+				}
+			}
+			recent = append(recent, line)
+		}
+		for i := 0; i < 200; i++ {
+			line := uint64(r.Intn(6)) * uint64(sets) * 64
+			if !c.Lookup(line) {
+				c.Insert(line)
+			}
+			touch(line)
+			// The min(ways, len) most recent lines must be resident.
+			k := ways
+			if len(recent) < k {
+				k = len(recent)
+			}
+			for _, l := range recent[len(recent)-k:] {
+				if !c.Lookup(l) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := NewHierarchy(Default())
+	now := int64(0)
+	// Cold access -> memory.
+	a := h.Access(1, 0x100000, now, true)
+	if a.Level != Mem || a.Partial {
+		t.Fatalf("cold access = %+v", a)
+	}
+	if a.Latency < h.Cfg.MemLat {
+		t.Fatalf("memory latency = %d", a.Latency)
+	}
+	// Same line immediately: partial hit on the in-flight fill.
+	b := h.Access(1, 0x100008, now+1, true)
+	if !b.Partial || b.Level != Mem {
+		t.Fatalf("expected partial hit, got %+v", b)
+	}
+	if b.Latency >= a.Latency {
+		t.Fatalf("partial hit latency %d should be below full miss %d", b.Latency, a.Latency)
+	}
+	// After the fill completes: L1 hit.
+	c := h.Access(1, 0x100000, now+1000, true)
+	if c.Level != L1 || c.Latency != h.Cfg.L1Lat {
+		t.Fatalf("post-fill access = %+v", c)
+	}
+	s := h.ByLoad[1]
+	if s.Accesses != 3 || s.Hits[Mem][0] != 1 || s.Hits[Mem][1] != 1 || s.Hits[L1][0] != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MissCycles == 0 {
+		t.Fatal("miss cycles not accumulated")
+	}
+}
+
+func TestHierarchyL1EvictionFallsToL2(t *testing.T) {
+	cfg := Default()
+	h := NewHierarchy(cfg)
+	now := int64(0)
+	// Fill well beyond L1 (16KB = 256 lines) but within L2.
+	lines := int64(2 * cfg.L1Size / cfg.LineBytes)
+	for i := int64(0); i < lines; i++ {
+		h.Access(1, uint64(i*64), now, true)
+		now += 300 // let fills complete
+	}
+	// Re-access the first line: should be out of L1 but in L2.
+	a := h.Access(2, 0, now+1000, true)
+	if a.Level != L2 {
+		t.Fatalf("re-access level = %v, want L2", a.Level)
+	}
+}
+
+func TestPerfectModes(t *testing.T) {
+	cfg := Default()
+	cfg.PerfectMemory = true
+	h := NewHierarchy(cfg)
+	a := h.Access(1, 0xdeadbeef, 0, true)
+	if a.Level != L1 || a.Latency != cfg.L1Lat {
+		t.Fatalf("perfect memory access = %+v", a)
+	}
+
+	cfg = Default()
+	cfg.PerfectDelinquent = true
+	cfg.DelinquentIDs = map[int]bool{7: true}
+	h = NewHierarchy(cfg)
+	if a := h.Access(7, 0x100000, 0, true); a.Level != L1 {
+		t.Fatalf("delinquent-perfect access = %+v", a)
+	}
+	if a := h.Access(8, 0x200000, 0, true); a.Level != Mem {
+		t.Fatalf("ordinary access = %+v", a)
+	}
+}
+
+func TestFillBufferBackPressure(t *testing.T) {
+	cfg := Default()
+	cfg.FillBufferEntries = 2
+	h := NewHierarchy(cfg)
+	a1 := h.Access(1, 0x000000, 0, true)
+	a2 := h.Access(1, 0x100000, 0, true)
+	// Third distinct line with a full fill buffer waits for a completion.
+	a3 := h.Access(1, 0x200000, 0, true)
+	if a3.Latency <= a1.Latency || a3.Latency <= a2.Latency {
+		t.Fatalf("no back pressure: lat3=%d lat1=%d", a3.Latency, a1.Latency)
+	}
+}
+
+func TestL1MissRate(t *testing.T) {
+	s := &LoadStat{Accesses: 10}
+	s.Hits[L1][0] = 4
+	if got := s.L1MissRate(); got != 0.6 {
+		t.Fatalf("miss rate = %v", got)
+	}
+	if (&LoadStat{}).L1MissRate() != 0 {
+		t.Fatal("zero-access miss rate should be 0")
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := NewHierarchy(Default())
+	h.Access(1, 0, 0, true)
+	h.Reset()
+	if len(h.ByLoad) != 0 || h.Totals.Accesses != 0 {
+		t.Fatal("Reset left stats")
+	}
+	if a := h.Access(1, 0, 1000, true); a.Level != Mem {
+		t.Fatalf("cache not cleared: %+v", a)
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(8, 2, 4096)
+	if !tlb.Translate(0x1000) {
+		t.Fatal("cold access should miss")
+	}
+	if tlb.Translate(0x1800) {
+		t.Fatal("same-page access should hit")
+	}
+	if !tlb.Translate(0x5000) {
+		t.Fatal("new page should miss")
+	}
+	tlb.Reset()
+	if !tlb.Translate(0x1000) {
+		t.Fatal("Reset did not clear entries")
+	}
+}
+
+func TestTLBEvictionLRU(t *testing.T) {
+	tlb := NewTLB(4, 2, 4096) // 2 sets x 2 ways
+	// Three pages mapping to the same set (stride = sets * pagesize).
+	p0, p1, p2 := uint64(0), uint64(2*4096), uint64(4*4096)
+	tlb.Translate(p0)
+	tlb.Translate(p1)
+	tlb.Translate(p0) // refresh p0; p1 becomes LRU
+	tlb.Translate(p2) // evicts p1
+	if tlb.Translate(p0) {
+		t.Fatal("MRU page evicted")
+	}
+	if !tlb.Translate(p1) {
+		t.Fatal("LRU page survived")
+	}
+}
+
+func TestHierarchyChargesTLBPenalty(t *testing.T) {
+	cfg := Default()
+	cfg.TLBEntries = 4
+	cfg.TLBWays = 2
+	cfg.TLBPageBytes = 4096
+	h := NewHierarchy(cfg)
+	a := h.Access(1, 0x100000, 0, true)
+	if a.Latency < cfg.MemLat+cfg.TLBPenalty {
+		t.Fatalf("first touch latency %d lacks TLB penalty", a.Latency)
+	}
+	if h.Totals.TLBMisses != 1 {
+		t.Fatalf("TLB misses = %d", h.Totals.TLBMisses)
+	}
+	// Same page after the fill completes: L1 hit, no TLB penalty.
+	b := h.Access(1, 0x100008, 10_000, true)
+	if b.Latency != cfg.L1Lat {
+		t.Fatalf("warm same-page access latency %d", b.Latency)
+	}
+}
+
+func TestHierarchyTLBDisabled(t *testing.T) {
+	cfg := Default()
+	cfg.TLBEntries = 0
+	h := NewHierarchy(cfg)
+	a := h.Access(1, 0x100000, 0, true)
+	if a.Latency != cfg.MemLat+cfg.L1Lat {
+		t.Fatalf("latency with TLB disabled = %d", a.Latency)
+	}
+}
+
+func TestPrefetchAccuracyTracking(t *testing.T) {
+	h := NewHierarchy(Default())
+	// Two prefetches; only one line is later demanded.
+	h.Prefetch(1, 0x100000, 0)
+	h.Prefetch(1, 0x200000, 0)
+	if h.PrefetchIssued != 2 {
+		t.Fatalf("issued = %d", h.PrefetchIssued)
+	}
+	h.Access(2, 0x100008, 500, true)
+	if h.PrefetchUseful != 1 {
+		t.Fatalf("useful = %d", h.PrefetchUseful)
+	}
+	if got := h.PrefetchAccuracy(); got != 0.5 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	// Duplicate prefetch to an already-tracked line doesn't double count.
+	h.Prefetch(1, 0x300000, 1000)
+	h.Prefetch(1, 0x300008, 1000)
+	if h.PrefetchIssued != 3 {
+		t.Fatalf("issued after dup = %d", h.PrefetchIssued)
+	}
+	if (&Hierarchy{}).PrefetchAccuracy() != 1 {
+		t.Fatal("no-prefetch accuracy should be 1")
+	}
+}

@@ -1,0 +1,55 @@
+// Package mem models the data side of the research Itanium memory system of
+// Table 1: a flat 64-bit word memory, a three-level set-associative cache
+// hierarchy (L1D 16KB/4-way/2cyc, L2 256KB/4-way/14cyc, L3 3MB/12-way/30cyc,
+// memory 230 cycles, 64-byte lines), and a 16-entry fill buffer that tracks
+// lines in transit so that accesses to an already-requested line become
+// partial hits — the "Partial" categories of Figure 9.
+package mem
+
+// pageBits selects a 4KB page (512 words) for the sparse memory.
+const pageBits = 9
+
+type page [1 << pageBits]uint64
+
+// Memory is a sparse, paged, word-granular flat memory. Addresses are byte
+// addresses; accesses are aligned to 8 bytes by masking. Loads of never
+// written locations return zero, which makes speculative p-slice execution
+// naturally non-faulting (§2: precomputation may be wrong, never harmful).
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{pages: make(map[uint64]*page)} }
+
+// Load reads the 64-bit word at addr (aligned down).
+func (m *Memory) Load(addr uint64) uint64 {
+	w := addr >> 3
+	p := m.pages[w>>pageBits]
+	if p == nil {
+		return 0
+	}
+	return p[w&(1<<pageBits-1)]
+}
+
+// Store writes the 64-bit word at addr (aligned down).
+func (m *Memory) Store(addr, val uint64) {
+	w := addr >> 3
+	idx := w >> pageBits
+	p := m.pages[idx]
+	if p == nil {
+		p = new(page)
+		m.pages[idx] = p
+	}
+	p[w&(1<<pageBits-1)] = val
+}
+
+// Install copies a data image into memory.
+func (m *Memory) Install(img map[uint64]uint64) {
+	for a, v := range img {
+		m.Store(a, v)
+	}
+}
+
+// Footprint returns the number of resident pages (for tests).
+func (m *Memory) Footprint() int { return len(m.pages) }

@@ -1,0 +1,64 @@
+package mem
+
+// TLB is a set-associative translation lookaside buffer. Table 1 lists a
+// 30-cycle TLB miss penalty; the hierarchy charges it on top of the cache
+// access whenever a data access touches a page absent from the TLB. (The
+// hardware page walker is not modelled beyond its latency.)
+type TLB struct {
+	ways     int
+	sets     int
+	pageBits uint
+	tags     []uint64
+	lru      []int64
+	clock    int64
+}
+
+// NewTLB builds a TLB with the given entry count, associativity, and page
+// size in bytes (powers of two).
+func NewTLB(entries, ways, pageBytes int) *TLB {
+	pb := uint(0)
+	for 1<<pb < pageBytes {
+		pb++
+	}
+	return &TLB{
+		ways:     ways,
+		sets:     entries / ways,
+		pageBits: pb,
+		tags:     make([]uint64, entries),
+		lru:      make([]int64, entries),
+	}
+}
+
+// Translate probes the TLB for addr's page, filling on a miss, and reports
+// whether the access missed.
+func (t *TLB) Translate(addr uint64) (missed bool) {
+	page := addr>>t.pageBits + 1
+	set := int(page) & (t.sets - 1)
+	base := set * t.ways
+	victim := base
+	t.clock++
+	for w := 0; w < t.ways; w++ {
+		i := base + w
+		if t.tags[i] == page {
+			t.lru[i] = t.clock
+			return false
+		}
+		if t.tags[i] == 0 {
+			victim = i
+		} else if t.tags[victim] != 0 && t.lru[i] < t.lru[victim] {
+			victim = i
+		}
+	}
+	t.tags[victim] = page
+	t.lru[victim] = t.clock
+	return true
+}
+
+// Reset invalidates all entries.
+func (t *TLB) Reset() {
+	for i := range t.tags {
+		t.tags[i] = 0
+		t.lru[i] = 0
+	}
+	t.clock = 0
+}

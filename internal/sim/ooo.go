@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"ssp/internal/ir"
+	"ssp/internal/sim/mem"
+)
+
+// wrec is one in-flight instruction in an OOO window.
+type wrec struct {
+	pc   int
+	fu   fuClass
+	lat  int64
+	srcs [6]*wrec
+	nsrc int
+
+	issued bool
+	doneAt int64
+
+	memKind uint8
+	memAddr uint64
+	memID   int
+}
+
+// window is a per-thread reorder buffer: dispatch appends, issue picks
+// data-ready records among the oldest RSSize unissued ones, retirement pops
+// from the head in order.
+type window struct {
+	recs []*wrec
+	head int
+	cap  int
+
+	rename [ir.NumLocs]*wrec
+	// blocked is a mispredicted branch that stalls dispatch until it
+	// issues; the misprediction penalty is charged when it resolves.
+	blocked *wrec
+	// haltAfterDrain stops dispatch and ends the thread once every
+	// dispatched instruction has issued and retired. Both halt and kill
+	// use it: a speculative thread's context is only freed when its
+	// in-flight work (its prefetches!) has left the pipe, matching
+	// retirement-stage thread termination.
+	haltAfterDrain bool
+	// waitDrain blocks dispatch until the window empties: a taken chk.c
+	// raises its exception at the retirement stage, squashing younger
+	// in-flight work — "speculative threads can only be spawned at the
+	// retirement stage of the pipeline ... assessed with similar penalty
+	// to exception handling that incurs pipeline flushes" (§4.4.1). The
+	// drain is what makes SSP far less profitable on the OOO model.
+	waitDrain bool
+}
+
+func newWindow(capacity int) *window {
+	return &window{recs: make([]*wrec, 0, capacity+8), cap: capacity}
+}
+
+func (w *window) size() int  { return len(w.recs) - w.head }
+func (w *window) full() bool { return w.size() >= w.cap }
+
+func (w *window) push(r *wrec) { w.recs = append(w.recs, r) }
+
+func (w *window) compact() {
+	if w.head > 4096 {
+		n := copy(w.recs, w.recs[w.head:])
+		w.recs = w.recs[:n]
+		w.head = 0
+	}
+}
+
+// runOOO is the 16-stage out-of-order model: per-thread 255-entry windows
+// with register renaming, an 18-entry reservation-station view (only the
+// oldest 18 unissued records are wakeup candidates), in-order retirement,
+// resolve-time branch-misprediction charging, and dispatch serialization at
+// chk.c (spawning happens at the retirement end of the pipe and is assessed
+// an exception-style flush, §4.4.1).
+func (m *Machine) runOOO() {
+	main := m.main()
+	main.win = newWindow(m.Cfg.ROBSize)
+	var sel [8]*Thread
+
+	for !m.mainDone {
+		if m.now >= m.Cfg.MaxCycles {
+			m.res.TimedOut = true
+			return
+		}
+		m.now++
+
+		// Retire; a drained speculative thread that executed kill frees
+		// its context here (retirement-stage termination).
+		for _, t := range m.threads {
+			if !t.active || t.win == nil {
+				continue
+			}
+			w := t.win
+			for k := 0; k < m.Cfg.RetireWidth && w.head < len(w.recs); k++ {
+				r := w.recs[w.head]
+				if !r.issued || r.doneAt > m.now {
+					break
+				}
+				w.head++
+			}
+			w.compact()
+			if w.haltAfterDrain && w.size() == 0 && t.spec {
+				m.killThread(t)
+			}
+		}
+
+		// Select threads (main first) for issue and dispatch bandwidth.
+		n := 0
+		sel[n] = main
+		n++
+		for scan, picked := 0, 0; scan < len(m.threads) && picked < m.Cfg.ThreadsPerCycle-1 && n < len(sel); scan++ {
+			t := m.threads[(m.rr+scan)%len(m.threads)]
+			if t == main || !t.active {
+				continue
+			}
+			sel[n] = t
+			n++
+			picked++
+			m.rr = (t.idx + 1) % len(m.threads)
+		}
+		slots := m.Cfg.IssueWidth / n
+
+		// Issue (wakeup/select).
+		intU, memU, brU, fpU := m.Cfg.IntUnits, m.Cfg.MemPorts, m.Cfg.BrUnits, m.Cfg.FPUnits
+		issuedMain := 0
+		for ti := 0; ti < n; ti++ {
+			t := sel[ti]
+			issued := m.issueOOO(t, slots, &intU, &memU, &brU, &fpU)
+			if t == main {
+				issuedMain = issued
+			}
+		}
+
+		// Dispatch (decode/rename + architectural execution).
+		for ti := 0; ti < n; ti++ {
+			t := sel[ti]
+			m.dispatchOOO(t, slots)
+		}
+
+		// Main-thread completion: halt dispatched and window drained.
+		if main.win.haltAfterDrain && main.win.size() == 0 {
+			m.mainDone = true
+		}
+		m.accountCycle(main, issuedMain, false, 0)
+		m.recordUtilization()
+	}
+}
+
+// issueOOO issues up to slots data-ready records from the oldest RSSize
+// unissued window entries.
+func (m *Machine) issueOOO(t *Thread, slots int, intU, memU, brU, fpU *int) int {
+	if !t.active || t.win == nil {
+		return 0
+	}
+	w := t.win
+	issued := 0
+	considered := 0
+	for i := w.head; i < len(w.recs) && issued < slots && considered < m.Cfg.RSSize; i++ {
+		r := w.recs[i]
+		if r.issued {
+			continue
+		}
+		considered++
+		ready := true
+		for s := 0; s < r.nsrc; s++ {
+			src := r.srcs[s]
+			if !src.issued || src.doneAt > m.now {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		switch r.fu {
+		case fuInt:
+			if *intU == 0 {
+				continue
+			}
+			*intU--
+		case fuMem:
+			if *memU == 0 {
+				continue
+			}
+			*memU--
+		case fuBr:
+			if *brU == 0 {
+				continue
+			}
+			*brU--
+		case fuFP:
+			if *fpU == 0 {
+				continue
+			}
+			*fpU--
+		}
+		r.issued = true
+		switch r.memKind {
+		case memLoad:
+			acc := m.Hier.Access(r.memID, r.memAddr, m.now, true)
+			r.doneAt = m.now + acc.Latency
+			if acc.Level != mem.L1 {
+				t.pending = append(t.pending, pendingFill{readyAt: r.doneAt, level: acc.Level})
+			}
+		case memStore:
+			m.Hier.Access(r.memID, r.memAddr, m.now, true)
+			r.doneAt = m.now + 1
+		case memPrefetch:
+			m.Hier.Prefetch(r.memID, r.memAddr, m.now)
+			r.doneAt = m.now + 1
+		default:
+			r.doneAt = m.now + r.lat
+		}
+		if w.blocked == r {
+			// Mispredicted branch resolves: refetch after the flush.
+			w.blocked = nil
+			t.frontStallUntil = r.doneAt + m.Cfg.MispredictPenalty
+		}
+		issued++
+	}
+	return issued
+}
+
+// dispatchOOO decodes, renames, and architecturally executes up to slots
+// instructions in program order.
+func (m *Machine) dispatchOOO(t *Thread, slots int) {
+	if !t.active || t.win == nil {
+		return
+	}
+	for k := 0; k < slots; k++ {
+		w := t.win
+		if t.frontStallUntil > m.now || w.blocked != nil || w.haltAfterDrain || w.full() {
+			return
+		}
+		if w.waitDrain {
+			if w.size() > 0 {
+				return
+			}
+			w.waitDrain = false
+		}
+		pc := t.pc
+		d := &m.dec[pc]
+		ef := m.execArch(t, pc)
+		t.instrs++
+		if t.spec {
+			m.res.SpecInstrs++
+			if t.instrs > m.Cfg.MaxSpecInstrs {
+				ef.kill = true
+			}
+		} else {
+			m.res.MainInstrs++
+			if m.res.PCCount != nil {
+				m.res.PCCount[pc]++
+			}
+		}
+
+		r := &wrec{pc: pc, fu: d.fu, lat: d.lat}
+		for _, loc := range d.uses {
+			if p := w.rename[loc]; p != nil && !(p.issued && p.doneAt <= m.now) {
+				if r.nsrc < len(r.srcs) {
+					r.srcs[r.nsrc] = p
+					r.nsrc++
+				}
+			}
+		}
+		if !ef.nullified && ef.memKind != memNone {
+			r.memKind, r.memAddr, r.memID = ef.memKind, ef.memAddr, ef.memID
+		}
+		for _, loc := range d.defs {
+			w.rename[loc] = r
+		}
+		w.push(r)
+
+		in := &m.Img.Code[pc].I
+		if ef.brCond {
+			if m.Pred.PredictAndTrain(uint64(pc), ef.brTaken && !ef.nullified) {
+				m.res.Mispredicts++
+				w.blocked = r
+			}
+		}
+		if in.Op == ir.OpChk && ef.nextPC != pc+1 {
+			// Taken chk.c: the exception is recognized at retirement, so
+			// the stub cannot dispatch until everything older has left
+			// the pipe, and the refetch pays the flush penalty.
+			w.waitDrain = true
+			t.frontStallUntil = m.now + m.Cfg.SpawnFlushPenalty
+		}
+		if ef.kill || ef.halt {
+			w.haltAfterDrain = true
+			return
+		}
+		t.pc = ef.nextPC
+		if ef.nextPC != pc+1 {
+			return // control transfer ends the fetch bundle
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package sim
+
+import "ssp/internal/sim/mem"
+
+// Category classifies each main-thread cycle for the Figure 10 breakdown.
+type Category uint8
+
+const (
+	// CatL3 counts cycles stalled (no issue) on loads that missed the L3
+	// cache and went to memory.
+	CatL3 Category = iota
+	// CatL2 counts no-issue cycles on loads that missed L2 and hit L3.
+	CatL2
+	// CatL1 counts no-issue cycles on loads that missed L1 and hit L2.
+	CatL1
+	// CatCacheExec counts cycles where issue happened while misses were
+	// outstanding.
+	CatCacheExec
+	// CatExec counts pure execution cycles.
+	CatExec
+	// CatOther counts remaining bubbles (branch mispredictions, spawn
+	// flushes, structural stalls).
+	CatOther
+	// NumCategories is the category count.
+	NumCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatL3:
+		return "L3"
+	case CatL2:
+		return "L2"
+	case CatL1:
+		return "L1"
+	case CatCacheExec:
+		return "Cache+Exec"
+	case CatExec:
+		return "Exec"
+	case CatOther:
+		return "Other"
+	}
+	return "?"
+}
+
+// Result reports one simulation run.
+type Result struct {
+	Cycles     int64
+	MainInstrs int64
+	SpecInstrs int64
+
+	// Breakdown partitions the main thread's cycles (Figure 10).
+	Breakdown [NumCategories]int64
+
+	Spawns        int64 // speculative threads started
+	SpawnsIgnored int64 // spawn requests dropped for lack of a context
+	ChkTaken      int64 // chk.c exceptions taken by the main thread
+	Mispredicts   int64
+	SpecStores    int64 // suppressed store attempts by speculative threads
+	TimedOut      bool
+
+	// Hier exposes the memory-system statistics of the run (per-load
+	// level/partial counts for Figure 9, miss cycles for profiling).
+	Hier *mem.Hierarchy
+
+	// SpecActiveHist[k] counts cycles during which exactly k speculative
+	// threads were active — the context-utilization profile of the run
+	// (how much of the SMT machine SSP actually uses).
+	SpecActiveHist []int64
+
+	// PCCount is per-PC main-thread execution counts when profiling.
+	PCCount []uint64
+	// CallEdges maps an indirect call instruction ID to the entry PCs it
+	// reached with counts (the dynamic call graph capture of §3.1.2).
+	CallEdges map[int]map[int]uint64
+}
+
+// IPC returns main-thread instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.MainInstrs) / float64(r.Cycles)
+}

@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// Tracer receives one line per architecturally executed instruction when
+// attached to a machine — thread id, speculative flag, cycle, PC, and the
+// instruction text. It exists for debugging adapted binaries: watching a
+// chaining thread run ahead of the main thread in the interleaved trace is
+// the fastest way to understand a slack problem.
+type Tracer struct {
+	W io.Writer
+	// MaxLines stops tracing after this many lines (0 = unlimited).
+	MaxLines int64
+	lines    int64
+}
+
+// Attach installs the tracer on the machine.
+func (m *Machine) Attach(tr *Tracer) { m.tracer = tr }
+
+// trace emits one line if a tracer is attached and its budget allows.
+func (m *Machine) trace(t *Thread, pc int) {
+	tr := m.tracer
+	if tr == nil || (tr.MaxLines > 0 && tr.lines >= tr.MaxLines) {
+		return
+	}
+	tr.lines++
+	kind := "main"
+	if t.spec {
+		kind = fmt.Sprintf("spec%d", t.idx)
+	}
+	fmt.Fprintf(tr.W, "%10d %-5s pc=%-6d %s\n", m.now, kind, pc, m.Img.Code[pc].I.String())
+}

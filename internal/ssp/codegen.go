@@ -1,0 +1,184 @@
+package ssp
+
+import (
+	"fmt"
+
+	"ssp/internal/ir"
+)
+
+// emit generates the binary attachment for one scheduled slice in the
+// Figure 7 layout: a chk.c trigger embedded in the main code, a stub block
+// that copies live-ins into the live-in buffer and spawns, and the slice
+// block(s) holding the precomputation, appended after the function in which
+// the trigger resides. It also appends the slice's Table 2 row to the
+// report.
+func (t *Tool) emit(sl *Slice, sch *Schedule) error {
+	f := sl.Region.F
+	tp, ok := t.placeTrigger(sl)
+	if !ok {
+		return nil // no legal trigger: skip this slice
+	}
+	k := t.nextSlice
+	t.nextSlice++
+	stubLabel := fmt.Sprintf("ssp_stub_%d", k)
+	sliceLabel := fmt.Sprintf("ssp_slice_%d", k)
+
+	countdown := sch.Predicted && sch.Model != ModelBasicOneShot
+	countSlot := int64(len(sl.LiveIns))
+	bound := int64(sch.TripsPerEntry)
+	if sch.Model == ModelChaining && t.opt.ChainUnroll > 1 {
+		// Each chain link covers ChainUnroll iterations.
+		bound /= int64(t.opt.ChainUnroll)
+	}
+	if bound > t.opt.ChainBound {
+		bound = t.opt.ChainBound
+	}
+	if bound < 2 {
+		bound = 2
+	}
+
+	// Stub block (Attachment, Figure 7): copy live-ins, spawn, resume.
+	stub := ir.NewBlockBuilder(t.p, f, f.AddBlock(stubLabel))
+	for i, r := range sl.LiveIns {
+		stub.Liw(int64(i), r)
+	}
+	if countdown {
+		// The countdown bound rides the live-in buffer; the reserved
+		// scratch register stages it on the main thread.
+		stub.MovI(scratchGR, bound)
+		stub.Liw(countSlot, scratchGR)
+	}
+	stub.Spawn(sliceLabel)
+
+	// Slice block: restore live-ins, then the scheduled precomputation.
+	body := ir.NewBlockBuilder(t.p, f, f.AddBlock(sliceLabel))
+	for i, r := range sl.LiveIns {
+		body.Lir(r, int64(i))
+	}
+	if countdown {
+		body.Lir(scratchGR, countSlot)
+	}
+
+	clone := func(bb *ir.BlockBuilder, n int) {
+		c := sl.Nodes[n].In.Clone()
+		c.ID = 0
+		t.p.Assign(c)
+		if sch.Lfetch[n] {
+			c.Op = ir.OpLfetch
+			c.Rd = 0
+			c.PostInc = 0
+		}
+		bb.B.Append(c)
+	}
+
+	switch sch.Model {
+	case ModelChaining:
+		if t.opt.ChainUnroll > 1 && t.emitChainingUnrolled(body, sl, sch, countdown, countSlot, sliceLabel) {
+			break
+		}
+		// Figure 5(b): critical sub-slice, live-in copies + chained
+		// spawn, then the non-critical sub-slice.
+		for _, n := range sch.Critical {
+			clone(body, n)
+		}
+		spawnPR := t.emitSpawnGuard(body, sl, sch, countdown)
+		for i, r := range sl.LiveIns {
+			body.Liw(int64(i), r)
+		}
+		if countdown {
+			body.Liw(countSlot, scratchGR)
+		}
+		if spawnPR == ir.PTrue {
+			body.Spawn(sliceLabel)
+		} else {
+			body.On(spawnPR).Spawn(sliceLabel)
+		}
+		for _, n := range sch.NonCritical {
+			clone(body, n)
+		}
+		body.Kill()
+
+	case ModelBasicLoop:
+		// Figure 6(b): a single thread iterates the whole scheduled
+		// slice; the latch predicate (or countdown) closes the loop.
+		loopLabel := sliceLabel + "_loop"
+		loop := ir.NewBlockBuilder(t.p, f, f.AddBlock(loopLabel))
+		for _, n := range sch.Critical {
+			clone(loop, n)
+		}
+		for _, n := range sch.NonCritical {
+			clone(loop, n)
+		}
+		backPR := t.emitSpawnGuard(loop, sl, sch, countdown)
+		if backPR == ir.PTrue {
+			loop.Br(loopLabel)
+		} else {
+			loop.On(backPR).Br(loopLabel)
+		}
+		tail := ir.NewBlockBuilder(t.p, f, f.AddBlock(sliceLabel+"_done"))
+		tail.Kill()
+
+	case ModelBasicOneShot:
+		// One trigger, one pass. For loop regions the critical advance
+		// runs once as a prologue so the prefetches target the next
+		// iteration (§3.2.2: the speculative thread covers the iteration
+		// the main thread reaches next).
+		if sl.Region.Loop != nil {
+			for _, n := range sch.Critical {
+				clone(body, n)
+			}
+		}
+		for _, n := range sch.Critical {
+			clone(body, n)
+		}
+		for _, n := range sch.NonCritical {
+			clone(body, n)
+		}
+		body.Kill()
+	}
+
+	t.embedTrigger(tp, stubLabel)
+	f.Renumber()
+
+	t.report.Slices = append(t.report.Slices, SliceInfo{
+		Targets:         targetIDs(sl),
+		Region:          sl.Region.String(),
+		Size:            sl.Size(),
+		LiveIns:         len(sl.LiveIns),
+		Interprocedural: sl.Interprocedural(),
+		Chaining:        sch.Model == ModelChaining,
+		Predicted:       sch.Predicted,
+		SlackCSP:        sch.RateCSP,
+		SlackBSP:        sch.RateBSP,
+		AvailableILP:    sch.AvailableILP,
+		TripCount:       sch.TripsPerEntry,
+	})
+	return nil
+}
+
+// emitSpawnGuard emits the continue-condition computation and returns the
+// predicate guarding the chained spawn (or basic loop backedge): either the
+// countdown compare (condition prediction, §3.2.1.1) or the latch compare's
+// continue-sense predicate already computed by the critical sub-slice.
+func (t *Tool) emitSpawnGuard(bb *ir.BlockBuilder, sl *Slice, sch *Schedule, countdown bool) ir.PR {
+	if countdown {
+		bb.AddI(scratchGR, scratchGR, -1)
+		bb.CmpI(ir.CondGT, scratchPR, scratchPR2, scratchGR, 0)
+		return scratchPR
+	}
+	if sl.LatchCmp == nil {
+		return ir.PTrue
+	}
+	if sch.SpawnOnPd2 {
+		return sl.LatchCmp.Pd2
+	}
+	return sl.LatchCmp.Pd1
+}
+
+func targetIDs(sl *Slice) []int {
+	ids := make([]int, 0, len(sl.Targets))
+	for _, tg := range sl.Targets {
+		ids = append(ids, tg.ID)
+	}
+	return ids
+}

@@ -1,0 +1,107 @@
+package ssp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ssp/internal/ir"
+	"ssp/internal/profile"
+	"ssp/internal/workloads"
+)
+
+// twoPhaseProgram has two separate hot loops with independent delinquent
+// loads — exercising multiple slices in multiple regions, each with its own
+// trigger and attachment (the shape the paper's multi-routine benchmarks
+// have, which yields the 2-8 slice counts of Table 2).
+func twoPhaseProgram(n int) (*ir.Program, uint64) {
+	p := ir.NewProgram("main")
+	r := rand.New(rand.NewSource(9))
+	// Phase 1: arc-style strided scan with a pointer dereference.
+	arcBase := uint64(0x100000)
+	nodeBase := arcBase + uint64(n)*64 + 0x10000
+	perm := r.Perm(n)
+	var want uint64
+	for i := 0; i < n; i++ {
+		node := nodeBase + uint64(perm[i])*64
+		p.SetWord(arcBase+uint64(i)*64+8, node)
+		p.SetWord(node+16, uint64(i*3))
+		want += uint64(i * 3)
+	}
+	// Phase 2: pointer-table walk over a different heap.
+	tblBase := nodeBase + uint64(n)*64 + 0x100000
+	recBase := tblBase + uint64(n)*8 + 0x10000
+	perm2 := r.Perm(n)
+	for i := 0; i < n; i++ {
+		rec := recBase + uint64(perm2[i])*64
+		p.SetWord(tblBase+uint64(i)*8, rec)
+		p.SetWord(rec+8, uint64(i*5+1))
+		want += uint64(i*5 + 1)
+	}
+
+	fb := ir.NewFunc(p, "main")
+	e := fb.Block("entry")
+	e.MovI(14, int64(arcBase))
+	e.MovI(15, int64(arcBase+uint64(n)*64))
+	e.MovI(20, 0)
+	l1 := fb.Block("phase1")
+	l1.Nop()
+	l1.Mov(16, 14)
+	l1.Ld(17, 16, 8)
+	l1.Ld(18, 17, 16)
+	l1.Add(20, 20, 18)
+	l1.AddI(14, 16, 64)
+	l1.Cmp(ir.CondLT, 6, 7, 14, 15)
+	l1.On(6).Br("phase1")
+	mid := fb.Block("mid")
+	mid.MovI(14, int64(tblBase))
+	mid.MovI(15, int64(tblBase+uint64(n)*8))
+	l2 := fb.Block("phase2")
+	l2.Nop()
+	l2.Ld(16, 14, 0)
+	l2.Ld(17, 16, 8)
+	l2.Add(20, 20, 17)
+	l2.AddI(14, 14, 8)
+	l2.Cmp(ir.CondLT, 6, 7, 14, 15)
+	l2.On(6).Br("phase2")
+	done := fb.Block("done")
+	done.MovI(28, int64(workloads.ResultAddr))
+	done.St(28, 0, 20)
+	done.Halt()
+	return p, want
+}
+
+func TestMultipleRegionsGetSeparateSlices(t *testing.T) {
+	p, want := twoPhaseProgram(900)
+	prof, err := profile.Collect(p, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enh, rep, err := Adapt(p, prof, DefaultOptions(), "twophase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumSlices() != 2 {
+		t.Fatalf("got %d slices, want 2 (one per hot loop): %+v", rep.NumSlices(), rep.Slices)
+	}
+	regions := map[string]bool{}
+	for _, s := range rep.Slices {
+		regions[s.Region] = true
+	}
+	if len(regions) != 2 {
+		t.Fatalf("slices share a region: %+v", rep.Slices)
+	}
+	// Two triggers, two stubs, two slice blocks.
+	text := ir.Format(enh)
+	if strings.Count(text, "chk.c ssp_stub_") != 2 {
+		t.Fatalf("expected two triggers:\n%s", text)
+	}
+	got, res := runChecksum(t, enh, tinyConfig())
+	if got != want {
+		t.Fatalf("checksum = %d, want %d", got, want)
+	}
+	_, base := runChecksum(t, p, tinyConfig())
+	if sp := float64(base.Cycles) / float64(res.Cycles); sp < 1.2 {
+		t.Fatalf("two-phase speedup = %.2f, want >= 1.2", sp)
+	}
+}

@@ -1,0 +1,182 @@
+// Package ssp implements the paper's contribution: the post-pass compilation
+// tool that adapts a binary for software-based speculative precomputation.
+// Given the program IR+CFG and profiling feedback (Figure 1), it identifies
+// delinquent loads (§2.2), extracts precomputation slices via region-based,
+// context-sensitive, speculative slicing (§3.1), schedules them for basic or
+// chaining SP (§3.2), places chk.c triggers (§3.3), and generates the
+// enhanced binary with stub and slice blocks appended after the trigger's
+// function (§3.4, Figure 7).
+package ssp
+
+// Options tunes the post-pass tool. Zero value is not useful; start from
+// DefaultOptions.
+type Options struct {
+	// DelinquentCutoff is the fraction of total miss cycles the selected
+	// delinquent loads must cover (§2.2 uses 90%).
+	DelinquentCutoff float64
+	// MaxDelinquent caps how many static loads are targeted.
+	MaxDelinquent int
+
+	// ReducedMissCutoff is the region-selection threshold: the first
+	// region whose reduced miss cycles exceed this fraction of the
+	// region's miss cycles is chosen (§3.4.1: "the product of the cutoff
+	// percentage and the miss cycles from cache profiling").
+	ReducedMissCutoff float64
+	// MaxRegionDepth stops the outward region traversal after this many
+	// expansion steps, "to avoid a slice becoming too big that often leads
+	// to wrong address calculations" (§3.4.1).
+	MaxRegionDepth int
+
+	// MaxSliceSize prunes slices that grow beyond this many instructions
+	// (slice-pruning, §3.1.2).
+	MaxSliceSize int
+	// MaxLiveIns rejects trigger placements needing more live-in copies
+	// than the live-in buffer comfortably holds.
+	MaxLiveIns int
+
+	// SpeculativeSlicing enables control-flow speculative slicing: defs on
+	// never-executed blocks and unrealized call edges are pruned using
+	// block profiles and the dynamic call graph (§3.1.2).
+	SpeculativeSlicing bool
+	// BiasThreshold is the branch bias above which condition prediction
+	// may discard the dependences leading to a spawn condition (§3.2.1.1).
+	BiasThreshold float64
+	// CondPrediction enables spawn-condition prediction: when the spawn
+	// condition depends on a load, it is replaced by a trip-count-bounded
+	// countdown so chaining threads spawn without waiting on memory
+	// (§3.2.1.1: "the prediction breaks the dependences leading to the
+	// spawn condition").
+	CondPrediction bool
+	// LoopRotation enables the dependence-reduction reordering that places
+	// the loop-carried recurrence (the non-degenerate SCCs) at the top of
+	// the generated do-across loop body (§3.2.1.1-3.2.1.2).
+	LoopRotation bool
+	// Chaining allows chaining SP at all; disabled, every slice is
+	// scheduled for basic SP (the ablation of §3.2).
+	Chaining bool
+	// TriggerHoisting moves triggers to immediate dominators when slack is
+	// unchanged, merging triggers (§3.3).
+	TriggerHoisting bool
+
+	// ChainBound caps the countdown used by predicted spawn conditions so
+	// a mispredicted chain cannot run away.
+	ChainBound int64
+
+	// ChainUnroll makes each chaining thread cover this many iterations:
+	// the critical sub-slice is applied ChainUnroll times before the
+	// spawn, and the prefetch body is replicated per step with renamed
+	// temporaries. This automates the unrolling the paper's hand-adapted
+	// binaries used to widen slack (§4.5) and amortizes spawn overhead;
+	// 1 reproduces the paper's tool exactly.
+	ChainUnroll int
+
+	// SpawnOverhead estimates the live-in copy + spawn cost in cycles for
+	// the slack equations (§3.2.1.2.2's "latency(copy live-ins and
+	// spawn)").
+	SpawnOverhead float64
+	// SlackMax prunes region growth once the projected slack exceeds this
+	// many cycles: "having too much slack may cause adverse cache
+	// interference" (§3).
+	SlackMax float64
+}
+
+// DefaultOptions mirrors the paper's settings where stated (90% cutoff) and
+// uses conservative values elsewhere; §3.4.1 reports the tool "is not highly
+// sensitive to the percentage as long as it is reasonably selected".
+func DefaultOptions() Options {
+	return Options{
+		DelinquentCutoff:   0.90,
+		MaxDelinquent:      10,
+		ReducedMissCutoff:  0.30,
+		MaxRegionDepth:     4,
+		MaxSliceSize:       48,
+		MaxLiveIns:         8,
+		SpeculativeSlicing: true,
+		BiasThreshold:      0.95,
+		CondPrediction:     true,
+		LoopRotation:       true,
+		Chaining:           true,
+		TriggerHoisting:    true,
+		ChainBound:         128,
+		ChainUnroll:        1,
+		SpawnOverhead:      12,
+		SlackMax:           100_000,
+	}
+}
+
+// Report summarizes an adaptation in the shape of Table 2, plus diagnostics.
+type Report struct {
+	// Benchmark is a caller-provided label.
+	Benchmark string
+	// DelinquentLoads lists the targeted static load IDs.
+	DelinquentLoads []int
+	// Slices describes every generated p-slice.
+	Slices []SliceInfo
+}
+
+// SliceInfo is one row's worth of Table 2 data for a single p-slice.
+type SliceInfo struct {
+	// Targets are the delinquent load IDs this slice prefetches.
+	Targets []int
+	// Region names the selected region.
+	Region string
+	// Size is the number of precomputation instructions in the slice body
+	// (excluding live-in plumbing and thread control).
+	Size int
+	// LiveIns is the number of live-in values copied at the trigger.
+	LiveIns int
+	// Interprocedural marks slices assembled from more than one function
+	// (§4.2: "interprocedural slices contribute to larger slack value").
+	Interprocedural bool
+	// Chaining records the selected precomputation model.
+	Chaining bool
+	// Predicted records whether the spawn condition was predicted.
+	Predicted bool
+	// SlackCSP and SlackBSP are the per-iteration slack estimates of
+	// §3.2.1.2.2 and §3.2.2.
+	SlackCSP, SlackBSP float64
+	// AvailableILP is the slice's available instruction-level parallelism
+	// (§3.2.1.2.2); the tool reports it to justify the height-priority
+	// scheduling heuristic.
+	AvailableILP float64
+	// TripCount is the region's estimated iteration count.
+	TripCount float64
+}
+
+// NumSlices returns the slice count (Table 2, "Slices").
+func (r *Report) NumSlices() int { return len(r.Slices) }
+
+// NumInterproc returns the interprocedural slice count (Table 2).
+func (r *Report) NumInterproc() int {
+	n := 0
+	for _, s := range r.Slices {
+		if s.Interprocedural {
+			n++
+		}
+	}
+	return n
+}
+
+// AvgSize returns the average slice size (Table 2).
+func (r *Report) AvgSize() float64 {
+	if len(r.Slices) == 0 {
+		return 0
+	}
+	t := 0
+	for _, s := range r.Slices {
+		t += s.Size
+	}
+	return float64(t) / float64(len(r.Slices))
+}
+
+// AvgLiveIns returns the average live-in count (Table 2).
+func (r *Report) AvgLiveIns() float64 {
+	if len(r.Slices) == 0 {
+		return 0
+	}
+	t := 0
+	for _, s := range r.Slices {
+		t += s.LiveIns
+	}
+	return float64(t) / float64(len(r.Slices))
+}

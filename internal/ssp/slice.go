@@ -1,0 +1,487 @@
+package ssp
+
+import (
+	"fmt"
+	"sort"
+
+	"ssp/internal/cfg"
+	"ssp/internal/ir"
+)
+
+// Slice is a combined precomputation slice for a set of delinquent loads
+// within one selected region: the instructions (possibly drawn from several
+// procedures, §3.4.2), their internal dependence graph, and the live-in set.
+type Slice struct {
+	// Region is the selected code region; its function hosts the trigger
+	// and the appended attachment blocks.
+	Region *cfg.Region
+	// Targets are the delinquent loads this slice prefetches.
+	Targets []*ir.Instr
+
+	// Nodes lists the slice instructions; edges are slice-internal data
+	// dependences (cross-procedure edges included).
+	Nodes []SliceNode
+	Preds [][]SliceEdge
+	Succs [][]SliceEdge
+
+	// LiveIns are the registers whose values must be copied from the main
+	// thread at the trigger point, sorted.
+	LiveIns []ir.Reg
+	// Funcs names every function contributing instructions.
+	Funcs map[string]bool
+
+	// Latch is the region loop's back-edge branch included in the slice
+	// (Figure 3's E), nil for non-loop regions; LatchCmp is the compare
+	// defining its predicate, if identified.
+	Latch    *ir.Instr
+	LatchCmp *ir.Instr
+
+	// MemRecurrence marks slices whose live-in advance reads memory that
+	// the region itself stores to (a may-alias between a critical load and
+	// a region store) — chaining cannot run ahead through such state, so
+	// the model selector falls back to basic SP (§3.2.2; this is what
+	// makes treeadd.df a basic-SP benchmark in Table 2).
+	MemRecurrence bool
+
+	// Ctx records the call-site binding of every callee contributing
+	// instructions, used by trigger placement to locate the in-region
+	// call sites leading to out-of-function targets.
+	Ctx map[string]*bindSite
+
+	idx map[int]int // instruction ID -> node index
+}
+
+// SliceNode is one instruction of a slice.
+type SliceNode struct {
+	In *ir.Instr
+	Fn string
+	// Order is the emission-order key: context depth first (callers
+	// before callees they feed), then original layout position.
+	Order int
+	// Target marks a delinquent load.
+	Target bool
+}
+
+// SliceEdge is a slice-internal dependence.
+type SliceEdge struct {
+	From, To int
+	Carried  bool
+}
+
+// NodeOf returns the node index of the instruction, or -1.
+func (s *Slice) NodeOf(in *ir.Instr) int {
+	if i, ok := s.idx[in.ID]; ok {
+		return i
+	}
+	return -1
+}
+
+// Size is the number of precomputation instructions (the Table 2 metric).
+func (s *Slice) Size() int { return len(s.Nodes) }
+
+// Interprocedural reports whether the slice spans procedures.
+func (s *Slice) Interprocedural() bool { return len(s.Funcs) > 1 }
+
+// contextChain returns the call sites linking the region's function down to
+// fn, following dominant callers (the slicer's approximation of "the call
+// sites currently on the call stack", §3.1). The result maps each callee
+// function name to its binding call site.
+func (t *Tool) contextChain(regionFn, fn string) (map[string]*bindSite, error) {
+	chain := map[string]*bindSite{}
+	cur := fn
+	for cur != regionFn {
+		site := t.forest.DominantCaller(cur, t.prof.InstrFreq)
+		if site == nil {
+			return nil, fmt.Errorf("ssp: no caller found for %s", cur)
+		}
+		chain[cur] = &bindSite{caller: site.Caller.Name, call: site.Instr}
+		if _, loop := chain[site.Caller.Name]; loop {
+			return nil, fmt.Errorf("ssp: recursive context chain at %s", cur)
+		}
+		cur = site.Caller.Name
+		if len(chain) > 8 {
+			return nil, fmt.Errorf("ssp: context chain too deep for %s", fn)
+		}
+	}
+	return chain, nil
+}
+
+// bindSite binds a callee's formals to a call instruction in a caller.
+type bindSite struct {
+	caller string
+	call   *ir.Instr
+}
+
+// sliceBuilder performs the backward, context-sensitive, speculative slice
+// construction of §3.1 for a fixed region.
+type sliceBuilder struct {
+	t        *Tool
+	s        *Slice
+	inRegion map[int]bool // block indices of Region within its function
+	ctx      map[string]*bindSite
+	liveIns  map[ir.Reg]bool
+	depth    map[string]int // context depth per function, for node ordering
+	// visitedCalls bounds recursion when return values flow through
+	// nested (possibly recursive) calls.
+	visitedCalls map[int]bool
+	err          error
+}
+
+// buildSlice constructs the combined slice of the given delinquent loads
+// with respect to region (§3.1, §3.1.1, §3.1.2). It returns nil (no error)
+// when the slice is rejected — too large, too many live-ins, or crossing an
+// unanalyzable boundary; rejection just means the region traversal keeps
+// looking.
+func (t *Tool) buildSlice(region *cfg.Region, targets []*ir.Instr) (*Slice, error) {
+	s := &Slice{
+		Region: region,
+		Funcs:  map[string]bool{},
+		idx:    map[int]int{},
+	}
+	b := &sliceBuilder{
+		t:        t,
+		s:        s,
+		inRegion: map[int]bool{},
+		ctx:      map[string]*bindSite{},
+		liveIns:  map[ir.Reg]bool{},
+		depth:    map[string]int{},
+	}
+	for _, bi := range region.Blocks {
+		b.inRegion[bi] = true
+	}
+	b.depth[region.F.Name] = 0
+
+	for _, target := range targets {
+		fn, _, _ := t.p.InstrByID(target.ID)
+		if fn == nil {
+			continue
+		}
+		if fn.Name != region.F.Name {
+			chain, err := t.contextChain(region.F.Name, fn.Name)
+			if err != nil {
+				return nil, nil // unanalyzable: reject quietly
+			}
+			for callee, site := range chain {
+				b.ctx[callee] = site
+				b.depth[callee] = b.depth[site.caller] + 1
+			}
+			// Depths may resolve out of order; fix up iteratively.
+			for i := 0; i < len(chain)+1; i++ {
+				for callee, site := range chain {
+					b.depth[callee] = b.depth[site.caller] + 1
+				}
+			}
+		}
+		b.include(fn.Name, target, true)
+		s.Targets = append(s.Targets, target)
+	}
+	// Include the region loop's latch branch: the chaining spawn condition
+	// (Figure 5's E).
+	if region.Loop != nil {
+		b.includeLatch()
+	}
+	if b.err != nil {
+		return nil, nil
+	}
+	if len(s.Nodes) == 0 || len(s.Nodes) > t.opt.MaxSliceSize {
+		return nil, nil
+	}
+	for r := range b.liveIns {
+		s.LiveIns = append(s.LiveIns, r)
+	}
+	sort.Slice(s.LiveIns, func(i, j int) bool { return s.LiveIns[i] < s.LiveIns[j] })
+	if len(s.LiveIns) > t.opt.MaxLiveIns {
+		return nil, nil
+	}
+	s.Ctx = b.ctx
+	b.detectMemRecurrence()
+	return s, nil
+}
+
+// include adds the instruction and, transitively, everything its operands
+// depend on, respecting region scope, crossing calls context-sensitively,
+// and pruning unexecuted paths when speculative slicing is on. Because an
+// instruction is marked before its dependences are traversed, recursive
+// call chains terminate with the monotone node set as the fixed point —
+// the effect of the paper's iterative slice-summary computation (§3.1.1),
+// with each function bound to a single dominant context (which is also why
+// the tool cannot replicate hand adaptation's multi-level recursive
+// inlining, §4.5).
+func (b *sliceBuilder) include(fn string, in *ir.Instr, isTarget bool) int {
+	if b.err != nil {
+		return -1
+	}
+	if i, ok := b.s.idx[in.ID]; ok {
+		if isTarget {
+			b.s.Nodes[i].Target = true
+		}
+		return i
+	}
+	if len(b.s.Nodes) >= b.t.opt.MaxSliceSize {
+		b.err = fmt.Errorf("slice too large")
+		return -1
+	}
+	an := b.t.an[fn]
+	n := an.dg.NodeByID(in.ID)
+	if n < 0 {
+		b.err = fmt.Errorf("instruction %d not in %s", in.ID, fn)
+		return -1
+	}
+	idx := len(b.s.Nodes)
+	b.s.idx[in.ID] = idx
+	b.s.Nodes = append(b.s.Nodes, SliceNode{
+		In:     in,
+		Fn:     fn,
+		Order:  b.depth[fn]*1_000_000 + n,
+		Target: isTarget,
+	})
+	b.s.Preds = append(b.s.Preds, nil)
+	b.s.Succs = append(b.s.Succs, nil)
+	b.s.Funcs[fn] = true
+
+	// Data dependences.
+	for _, e := range an.dg.DataPreds[n] {
+		def := an.dg.Nodes[e.From]
+		if b.pruned(fn, def) {
+			continue // control-flow speculative slicing (§3.1.2)
+		}
+		switch {
+		case def.Op == ir.OpCall || def.Op == ir.OpCallB:
+			if r, ok := e.Loc.IsGR(); ok && r == ir.RegRet {
+				b.crossReturn(fn, def, idx)
+			}
+			// Other call-carried locs (the link register) are not
+			// slice-relevant.
+		case fn != b.s.Region.F.Name || b.inRegion[an.dg.BlockOf[e.From]]:
+			from := b.include(fn, def, false)
+			b.addEdge(from, idx, e.Carried)
+		default:
+			// Defined in the region's function but outside the region:
+			// the value is captured at the trigger (§3.1.1's slice
+			// pruning once slack suffices). Registers become live-ins;
+			// predicates and branch registers are pulled through, since
+			// the live-in buffer carries only register values (§2.1).
+			if r, ok := e.Loc.IsGR(); ok {
+				b.liveIns[r] = true
+			} else {
+				from := b.include(fn, def, false)
+				b.addEdge(from, idx, e.Carried)
+			}
+		}
+	}
+	// Values live into the function.
+	for _, loc := range an.dg.EntryDefs[n] {
+		r, isGR := loc.IsGR()
+		if !isGR {
+			b.err = fmt.Errorf("non-register live-in %v", loc)
+			return idx
+		}
+		if fn == b.s.Region.F.Name {
+			b.liveIns[r] = true
+			continue
+		}
+		b.bindFormal(fn, r, idx)
+	}
+	return idx
+}
+
+// pruned applies control-flow speculative slicing: definitions on blocks the
+// profile never saw executed are assumed off the realized paths (§3.1.2).
+func (b *sliceBuilder) pruned(fn string, def *ir.Instr) bool {
+	if !b.t.opt.SpeculativeSlicing {
+		return false
+	}
+	return b.t.prof.Freq(def) == 0
+}
+
+// crossReturn extends the slice into a callee whose return value feeds node
+// use: the return-value definitions in the callee are included (with the
+// callee bound to this call site), and cross-procedure edges added — the
+// slice(r, f) ∪ slice(contextmap(...)) composition of §3.1.
+func (b *sliceBuilder) crossReturn(fn string, call *ir.Instr, use int) {
+	callee := ""
+	if call.Op == ir.OpCall {
+		callee = call.Target
+	} else {
+		callee = b.t.prof.DominantCallee(call.ID)
+	}
+	if callee == "" || b.t.an[callee] == nil {
+		b.err = fmt.Errorf("unresolvable call at %d", call.ID)
+		return
+	}
+	if _, bound := b.ctx[callee]; !bound {
+		b.ctx[callee] = &bindSite{caller: fn, call: call}
+		b.depth[callee] = b.depth[fn] + 1
+	}
+	an := b.t.an[callee]
+	for ni, in := range an.dg.Nodes {
+		if in.Op != ir.OpRet || b.pruned(callee, in) {
+			continue
+		}
+		for _, e := range an.dg.DataPreds[ni] {
+			if r, ok := e.Loc.IsGR(); !ok || r != ir.RegRet {
+				continue
+			}
+			def := an.dg.Nodes[e.From]
+			if b.pruned(callee, def) {
+				continue
+			}
+			if def.Op == ir.OpCall || def.Op == ir.OpCallB {
+				// The return value flows out of a deeper (possibly
+				// recursive) call: keep inlining through it rather than
+				// including the call itself — slices never contain
+				// control transfers. The visited set makes the recursion
+				// a terminating fixed point (§3.1.1).
+				b.crossReturnGuarded(callee, def, use)
+				continue
+			}
+			from := b.include(callee, def, false)
+			b.addEdge(from, use, false)
+		}
+	}
+}
+
+// crossReturnGuarded recurses into a deeper callee's return slice at most
+// once per call site (a visited set over call instructions), terminating
+// recursive call cycles.
+func (b *sliceBuilder) crossReturnGuarded(fn string, call *ir.Instr, use int) {
+	if b.visitedCalls == nil {
+		b.visitedCalls = map[int]bool{}
+	}
+	if b.visitedCalls[call.ID] {
+		return
+	}
+	b.visitedCalls[call.ID] = true
+	b.crossReturn(fn, call, use)
+}
+
+// bindFormal maps a value live into a callee to its definition at the bound
+// call site in the caller: contextmap(f, c) of §3.1. Only argument registers
+// are bindable; anything else makes the slice unanalyzable.
+func (b *sliceBuilder) bindFormal(fn string, r ir.Reg, use int) {
+	site := b.ctx[fn]
+	if site == nil {
+		b.err = fmt.Errorf("no context for %s", fn)
+		return
+	}
+	if r < ir.RegArg0 || r >= ir.RegArg0+8 {
+		b.err = fmt.Errorf("callee %s needs non-argument live-in %v", fn, r)
+		return
+	}
+	caller := b.t.an[site.caller]
+	cn := caller.dg.NodeByID(site.call.ID)
+	if cn < 0 {
+		b.err = fmt.Errorf("call site %d not found in %s", site.call.ID, site.caller)
+		return
+	}
+	found := false
+	for _, e := range caller.dg.DataPreds[cn] {
+		if lr, ok := e.Loc.IsGR(); !ok || lr != r {
+			continue
+		}
+		def := caller.dg.Nodes[e.From]
+		if b.pruned(site.caller, def) {
+			continue
+		}
+		found = true
+		if site.caller != b.s.Region.F.Name || b.inRegion[caller.dg.BlockOf[e.From]] {
+			from := b.include(site.caller, def, false)
+			b.addEdge(from, use, false)
+		} else {
+			b.liveIns[r] = true
+		}
+	}
+	if !found {
+		// The actual is live into the caller as well: keep binding
+		// upward, or capture at the trigger when the caller is the
+		// region's function.
+		if site.caller == b.s.Region.F.Name {
+			b.liveIns[r] = true
+		} else {
+			b.bindFormal(site.caller, r, use)
+		}
+	}
+}
+
+func (b *sliceBuilder) addEdge(from, to int, carried bool) {
+	if from < 0 || to < 0 || b.err != nil {
+		return
+	}
+	for _, e := range b.s.Preds[to] {
+		if e.From == from && e.Carried == carried {
+			return
+		}
+	}
+	e := SliceEdge{From: from, To: to, Carried: carried}
+	b.s.Preds[to] = append(b.s.Preds[to], e)
+	b.s.Succs[from] = append(b.s.Succs[from], e)
+}
+
+// includeLatch pulls the region loop's most frequent back-edge branch into
+// the slice — the spawn/continue condition of the generated do-across loop
+// (Figure 5's E) — along with its predicate-compare chain via the normal
+// data-dependence traversal.
+func (b *sliceBuilder) includeLatch() {
+	region := b.s.Region
+	f := region.F
+	var best *ir.Instr
+	var bestFreq uint64
+	for _, latch := range region.Loop.Latches {
+		term := f.Blocks[latch].Terminator()
+		if term == nil || term.Op != ir.OpBr {
+			continue
+		}
+		if freq := b.t.prof.Freq(term); best == nil || freq > bestFreq {
+			best, bestFreq = term, freq
+		}
+	}
+	if best == nil {
+		return
+	}
+	b.include(f.Name, best, false)
+	b.s.Latch = best
+	// Identify the compare producing the branch predicate, for the spawn
+	// predicate's sense (§3.4.2 codegen).
+	if best.Qp != ir.PTrue {
+		an := b.t.an[f.Name]
+		n := an.dg.NodeByID(best.ID)
+		for _, e := range an.dg.DataPreds[n] {
+			if pr, ok := e.Loc.IsPR(); ok && pr == best.Qp {
+				def := an.dg.Nodes[e.From]
+				if def.Op == ir.OpCmp {
+					b.s.LatchCmp = def
+				}
+			}
+		}
+	}
+}
+
+// detectMemRecurrence flags slices whose loads may read locations the region
+// stores to (matching base register and displacement): the speculative
+// thread cannot usefully run ahead through state the main thread is still
+// producing, so chaining is ruled out for them.
+func (b *sliceBuilder) detectMemRecurrence() {
+	region := b.s.Region
+	f := region.F
+	type key struct {
+		base ir.Reg
+		disp int64
+	}
+	stores := map[key]bool{}
+	for _, bi := range region.Blocks {
+		for _, in := range f.Blocks[bi].Instrs {
+			if in.Op == ir.OpSt {
+				stores[key{in.Ra, in.Disp}] = true
+			}
+		}
+	}
+	if len(stores) == 0 {
+		return
+	}
+	for _, n := range b.s.Nodes {
+		if n.In.Op == ir.OpLd && n.Fn == f.Name && stores[key{n.In.Ra, n.In.Disp}] {
+			b.s.MemRecurrence = true
+			return
+		}
+	}
+}

@@ -1,0 +1,398 @@
+package ssp
+
+import (
+	"strings"
+	"testing"
+
+	"ssp/internal/ir"
+	"ssp/internal/profile"
+	"ssp/internal/sim"
+	"ssp/internal/workloads"
+)
+
+func tinyConfig() sim.Config {
+	c := sim.DefaultInOrder()
+	c.Mem.L1Size = 1 << 10
+	c.Mem.L2Size = 4 << 10
+	c.Mem.L3Size = 16 << 10
+	c.MaxCycles = 200_000_000
+	return c
+}
+
+// adaptWorkload profiles and adapts one benchmark at test scale.
+func adaptWorkload(t *testing.T, name string, opt Options) (orig, enh *ir.Program, rep *Report, want uint64) {
+	t.Helper()
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, want = spec.Build(spec.TestScale)
+	prof, err := profile.Collect(orig, tinyConfig())
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	enh, rep, err = Adapt(orig, prof, opt, name)
+	if err != nil {
+		t.Fatalf("Adapt: %v", err)
+	}
+	return orig, enh, rep, want
+}
+
+func runChecksum(t *testing.T, p *ir.Program, cfg sim.Config) (uint64, *sim.Result) {
+	t.Helper()
+	img, err := ir.Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(cfg, img)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("run timed out")
+	}
+	return m.Mem.Load(workloads.ResultAddr), res
+}
+
+func TestAdaptMcfShape(t *testing.T) {
+	_, enh, rep, _ := adaptWorkload(t, "mcf", DefaultOptions())
+	if rep.NumSlices() == 0 {
+		t.Fatal("no slices generated for mcf")
+	}
+	if rep.AvgLiveIns() <= 0 || rep.AvgLiveIns() > 8 {
+		t.Fatalf("avg live-ins = %.1f", rep.AvgLiveIns())
+	}
+	if rep.AvgSize() <= 0 || rep.AvgSize() > 48 {
+		t.Fatalf("avg slice size = %.1f", rep.AvgSize())
+	}
+	// mcf's arc-induction recurrence makes it a chaining benchmark (§4.2:
+	// "Most loops in the benchmark suite use chaining SP").
+	chain := false
+	for _, s := range rep.Slices {
+		if s.Chaining {
+			chain = true
+		}
+	}
+	if !chain {
+		t.Fatalf("mcf did not select chaining SP: %+v", rep.Slices)
+	}
+	// The enhanced binary has the Figure 7 attachments.
+	text := ir.Format(enh)
+	for _, want := range []string{"chk.c ssp_stub_", "spawn ssp_slice_", "lfetch", "liw", "lir", "kill"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("enhanced binary lacks %q", want)
+		}
+	}
+	if err := enh.Validate(); err != nil {
+		t.Fatalf("enhanced binary invalid: %v", err)
+	}
+}
+
+func TestAdaptPreservesResults(t *testing.T) {
+	for _, name := range []string{"mcf", "em3d", "treeadd.df", "treeadd.bf", "vpr", "health", "mst"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			_, enh, _, want := adaptWorkload(t, name, DefaultOptions())
+			got, _ := runChecksum(t, enh, tinyConfig())
+			if got != want {
+				t.Fatalf("enhanced binary checksum = %d, want %d", got, want)
+			}
+			// And on the OOO model.
+			ooo := sim.DefaultOOO()
+			ooo.Mem = tinyConfig().Mem
+			ooo.MaxCycles = 200_000_000
+			got, _ = runChecksum(t, enh, ooo)
+			if got != want {
+				t.Fatalf("OOO enhanced checksum = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestAdaptSpeedsUpInOrder(t *testing.T) {
+	// The headline result (§4.3): SSP speeds up pointer-intensive kernels
+	// on the in-order model. At unit-test scale we require a clear win on
+	// the chaining-friendly benchmarks.
+	for _, name := range []string{"mcf", "em3d", "vpr", "treeadd.bf"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			orig, enh, rep, _ := adaptWorkload(t, name, DefaultOptions())
+			if rep.NumSlices() == 0 {
+				t.Fatal("no slices generated")
+			}
+			_, base := runChecksum(t, orig, tinyConfig())
+			_, fast := runChecksum(t, enh, tinyConfig())
+			speedup := float64(base.Cycles) / float64(fast.Cycles)
+			if fast.Spawns == 0 {
+				t.Fatal("no speculative threads spawned")
+			}
+			if speedup < 1.10 {
+				t.Fatalf("speedup = %.3f (base %d, ssp %d), want >= 1.10",
+					speedup, base.Cycles, fast.Cycles)
+			}
+			t.Logf("%s: speedup %.2f, spawns %d, slices %d", name, speedup, fast.Spawns, rep.NumSlices())
+		})
+	}
+}
+
+func TestAdaptDoesNotWreckBasicSPBenchmarks(t *testing.T) {
+	// treeadd.df (memory recurrence -> basic SP) must at least not slow
+	// down much; health/mst are interprocedural and should not regress.
+	for _, name := range []string{"treeadd.df", "health", "mst"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			orig, enh, _, _ := adaptWorkload(t, name, DefaultOptions())
+			_, base := runChecksum(t, orig, tinyConfig())
+			_, fast := runChecksum(t, enh, tinyConfig())
+			ratio := float64(fast.Cycles) / float64(base.Cycles)
+			if ratio > 1.05 {
+				t.Fatalf("SSP slowed %s down by %.1f%%", name, 100*(ratio-1))
+			}
+			t.Logf("%s: cycles %d -> %d (%.2fx)", name, base.Cycles, fast.Cycles,
+				float64(base.Cycles)/float64(fast.Cycles))
+		})
+	}
+}
+
+func TestInterproceduralSlices(t *testing.T) {
+	// health and mst walk pointer chains inside callees: Table 2 reports
+	// one interprocedural slice for each.
+	for _, name := range []string{"health", "mst"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			_, _, rep, _ := adaptWorkload(t, name, DefaultOptions())
+			if rep.NumSlices() == 0 {
+				t.Fatal("no slices")
+			}
+			if rep.NumInterproc() == 0 {
+				t.Fatalf("expected an interprocedural slice: %+v", rep.Slices)
+			}
+		})
+	}
+}
+
+func TestTreeaddDFSelectsBasic(t *testing.T) {
+	// The DF traversal's recurrence goes through the stack the main
+	// thread is still writing: chaining must be rejected (Table 2: "The
+	// benchmark treeadd.df uses basic SP").
+	_, _, rep, _ := adaptWorkload(t, "treeadd.df", DefaultOptions())
+	for _, s := range rep.Slices {
+		if s.Chaining {
+			t.Fatalf("treeadd.df selected chaining SP: %+v", s)
+		}
+	}
+}
+
+func TestSlicesContainNoStores(t *testing.T) {
+	// §2: "The post-pass tool ensures that no store instructions are
+	// included in the precomputation."
+	for _, name := range []string{"mcf", "em3d", "treeadd.df", "treeadd.bf", "health", "mst", "vpr"} {
+		_, enh, _, _ := adaptWorkload(t, name, DefaultOptions())
+		for _, f := range enh.Funcs {
+			for _, b := range f.Blocks {
+				if !strings.HasPrefix(b.Label, "ssp_") {
+					continue
+				}
+				for _, in := range b.Instrs {
+					if in.Op == ir.OpSt {
+						t.Fatalf("%s: store %v in slice block %s", name, in, b.Label)
+					}
+					if in.Op == ir.OpCall || in.Op == ir.OpCallB || in.Op == ir.OpRet {
+						t.Fatalf("%s: control %v in slice block %s", name, in, b.Label)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAdaptLeavesOriginalUntouched(t *testing.T) {
+	spec, _ := workloads.ByName("mcf")
+	orig, _ := spec.Build(spec.TestScale)
+	before := ir.Format(orig)
+	prof, err := profile.Collect(orig, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Adapt(orig, prof, DefaultOptions(), "mcf"); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Format(orig) != before {
+		t.Fatal("Adapt mutated the original program")
+	}
+}
+
+func TestAdaptRejectsScratchRegisterClash(t *testing.T) {
+	p := ir.NewProgram("main")
+	fb := ir.NewFunc(p, "main")
+	e := fb.Block("entry")
+	e.MovI(127, 1) // reserved scratch register
+	e.Halt()
+	prof := &profile.Profile{
+		InstrFreq: map[int]uint64{},
+		BlockFreq: map[string]uint64{},
+	}
+	if _, _, err := Adapt(p, prof, DefaultOptions(), "clash"); err == nil {
+		t.Fatal("Adapt accepted a program using the reserved scratch register")
+	}
+}
+
+func TestNoDelinquentLoadsIsANop(t *testing.T) {
+	// A compute-bound program gets no slices and is returned unchanged.
+	p := ir.NewProgram("main")
+	fb := ir.NewFunc(p, "main")
+	e := fb.Block("entry")
+	e.MovI(14, 0)
+	loop := fb.Block("loop")
+	loop.AddI(14, 14, 1)
+	loop.CmpI(ir.CondLT, 6, 7, 14, 10000)
+	loop.On(6).Br("loop")
+	d := fb.Block("done")
+	d.Halt()
+	prof, err := profile.Collect(p, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enh, rep, err := Adapt(p, prof, DefaultOptions(), "compute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumSlices() != 0 {
+		t.Fatalf("compute-bound program got %d slices", rep.NumSlices())
+	}
+	if ir.Format(enh) != ir.Format(p) {
+		t.Fatal("nop adaptation changed the program")
+	}
+}
+
+func TestChainingSliceStructureMatchesFigure5(t *testing.T) {
+	// For the mcf kernel the generated chaining slice must have the
+	// Figure 5(b) shape: live-in restores, the induction (critical
+	// sub-slice), live-in copies and a guarded spawn, then the loads and
+	// prefetch, then kill.
+	_, enh, _, _ := adaptWorkload(t, "mcf", DefaultOptions())
+	var sliceBlock *ir.Block
+	for _, b := range enh.FuncByName("main").Blocks {
+		if strings.HasPrefix(b.Label, "ssp_slice_") {
+			sliceBlock = b
+			break
+		}
+	}
+	if sliceBlock == nil {
+		t.Fatal("no slice block")
+	}
+	var order []ir.Op
+	for _, in := range sliceBlock.Instrs {
+		order = append(order, in.Op)
+	}
+	// Find positions of key ops.
+	pos := func(op ir.Op) int {
+		for i, o := range order {
+			if o == op {
+				return i
+			}
+		}
+		return -1
+	}
+	lir, spawn, lfetch, kill := pos(ir.OpLir), pos(ir.OpSpawn), pos(ir.OpLfetch), pos(ir.OpKill)
+	if lir < 0 || spawn < 0 || lfetch < 0 || kill < 0 {
+		t.Fatalf("slice block missing key ops: %v", order)
+	}
+	if !(lir < spawn && spawn < lfetch && lfetch < kill) {
+		t.Fatalf("slice block order wrong (lir=%d spawn=%d lfetch=%d kill=%d): %v",
+			lir, spawn, lfetch, kill, order)
+	}
+	if kill != len(order)-1 {
+		t.Fatalf("kill is not last: %v", order)
+	}
+}
+
+func TestAblationChainingOff(t *testing.T) {
+	// Disabling chaining (forcing basic SP) must still be correct and
+	// should not beat chaining on mcf.
+	opt := DefaultOptions()
+	opt.Chaining = false
+	orig, enh, rep, want := adaptWorkload(t, "mcf", opt)
+	for _, s := range rep.Slices {
+		if s.Chaining {
+			t.Fatal("chaining slice generated with Chaining=false")
+		}
+	}
+	got, basicRes := runChecksum(t, enh, tinyConfig())
+	if got != want {
+		t.Fatalf("basic-only checksum = %d, want %d", got, want)
+	}
+	_, _, _, _ = orig, enh, rep, want
+	_, chEnh, _, _ := adaptWorkload(t, "mcf", DefaultOptions())
+	_, chainRes := runChecksum(t, chEnh, tinyConfig())
+	if chainRes.Cycles > basicRes.Cycles*11/10 {
+		t.Fatalf("chaining (%d cycles) much worse than basic (%d)", chainRes.Cycles, basicRes.Cycles)
+	}
+}
+
+func TestAblationRotationOff(t *testing.T) {
+	// Without dependence reduction the chaining threads serialize; the
+	// enhanced binary stays correct.
+	opt := DefaultOptions()
+	opt.LoopRotation = false
+	_, enh, _, want := adaptWorkload(t, "mcf", opt)
+	got, _ := runChecksum(t, enh, tinyConfig())
+	if got != want {
+		t.Fatalf("rotation-off checksum = %d, want %d", got, want)
+	}
+}
+
+func TestAblationSpeculativeSlicingOff(t *testing.T) {
+	opt := DefaultOptions()
+	opt.SpeculativeSlicing = false
+	_, enh, rep, want := adaptWorkload(t, "em3d", opt)
+	if rep.NumSlices() == 0 {
+		t.Skip("no slices without speculative slicing")
+	}
+	got, _ := runChecksum(t, enh, tinyConfig())
+	if got != want {
+		t.Fatalf("spec-slicing-off checksum = %d, want %d", got, want)
+	}
+}
+
+// collectProfile profiles a program on the test machine.
+func collectProfile(t *testing.T, p *ir.Program) *profile.Profile {
+	t.Helper()
+	prof, err := profile.Collect(p, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func TestSliceAddressesAreMostlyRight(t *testing.T) {
+	// §4.4: "The number of wrong addresses generated by speculative
+	// slicing is small for these benchmarks." Measure prefetch accuracy —
+	// the fraction of slice-issued prefetch lines the main thread later
+	// demands — on the chaining benchmarks.
+	for _, name := range []string{"mcf", "em3d", "vpr"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			_, enh, _, _ := adaptWorkload(t, name, DefaultOptions())
+			img, err := ir.Link(enh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := sim.New(tinyConfig(), img)
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if m.Hier.PrefetchIssued == 0 {
+				t.Fatal("no prefetches issued")
+			}
+			if acc := m.Hier.PrefetchAccuracy(); acc < 0.6 {
+				t.Fatalf("prefetch accuracy %.2f (%d/%d) — too many wrong addresses",
+					acc, m.Hier.PrefetchUseful, m.Hier.PrefetchIssued)
+			} else {
+				t.Logf("%s: prefetch accuracy %.2f (%d/%d)",
+					name, acc, m.Hier.PrefetchUseful, m.Hier.PrefetchIssued)
+			}
+		})
+	}
+}

@@ -1,0 +1,232 @@
+package ssp
+
+import (
+	"fmt"
+	"sort"
+
+	"ssp/internal/cfg"
+	"ssp/internal/dep"
+	"ssp/internal/ir"
+	"ssp/internal/profile"
+)
+
+// scratchGR and scratchPR are reserved for SSP-generated code (countdown
+// counters and spawn predicates). The tool verifies the input program never
+// touches them; real binaries have an ABI-reserved scratch set for the same
+// purpose.
+const (
+	scratchGR  ir.Reg = 127
+	scratchPR  ir.PR  = 63
+	scratchPR2 ir.PR  = 62
+)
+
+// analysis bundles the per-function structures the tool consumes.
+type analysis struct {
+	fr *cfg.FuncRegions
+	dg *dep.Graph
+}
+
+// Tool is one adaptation session over a cloned program.
+type Tool struct {
+	p      *ir.Program
+	prof   *profile.Profile
+	opt    Options
+	forest *cfg.Forest
+	an     map[string]*analysis
+	// callCycles caches the estimated dynamic cycles per invocation of
+	// each function, used as the latency of call nodes in height
+	// computations (§3.2.1: latency information annotated on edges).
+	callCycles map[string]float64
+	// freeRegs are general registers the program never touches, usable as
+	// fresh temporaries by unrolled slice bodies (the speculative context
+	// is private, but reusing program registers across unroll steps would
+	// create false dependences inside the slice).
+	freeRegs  []ir.Reg
+	report    *Report
+	nextSlice int
+}
+
+// Adapt runs the post-pass tool: it clones the program, analyses it, and
+// returns the SSP-enhanced binary together with the Table 2 report. The
+// original program is left untouched (Figure 1: the tool re-reads the first
+// pass's IR and emits a new binary).
+func Adapt(orig *ir.Program, prof *profile.Profile, opt Options, label string) (*ir.Program, *Report, error) {
+	p := orig.Clone()
+	t := &Tool{
+		p:          p,
+		prof:       prof,
+		opt:        opt,
+		an:         make(map[string]*analysis),
+		callCycles: make(map[string]float64),
+		report:     &Report{Benchmark: label},
+	}
+	if err := t.analyse(); err != nil {
+		return nil, nil, err
+	}
+	dels := prof.DelinquentLoads(opt.DelinquentCutoff, opt.MaxDelinquent)
+	t.report.DelinquentLoads = dels
+	if len(dels) == 0 {
+		return p, t.report, nil
+	}
+
+	// Select a region and model per delinquent load (§3.4.1), then combine
+	// slices that landed in the same region (§3.4.1: "different slices are
+	// combined if they share nodes in the dependence graph").
+	type choice struct {
+		load   *ir.Instr
+		region *cfg.Region
+	}
+	var choices []choice
+	for _, id := range dels {
+		fn, _, in := p.InstrByID(id)
+		if in == nil {
+			continue
+		}
+		region := t.selectRegion(fn, in)
+		if region == nil {
+			continue
+		}
+		choices = append(choices, choice{load: in, region: region})
+	}
+	groups := map[*cfg.Region][]*ir.Instr{}
+	var regionOrder []*cfg.Region
+	for _, c := range choices {
+		if _, seen := groups[c.region]; !seen {
+			regionOrder = append(regionOrder, c.region)
+		}
+		groups[c.region] = append(groups[c.region], c.load)
+	}
+	for _, r := range regionOrder {
+		sl, err := t.buildSlice(r, groups[r])
+		if err != nil || sl == nil {
+			continue
+		}
+		sch := t.schedule(sl)
+		if sch == nil {
+			continue
+		}
+		if err := t.emit(sl, sch); err != nil {
+			return nil, nil, fmt.Errorf("ssp: codegen for %v: %w", r, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("ssp: adapted program invalid: %w", err)
+	}
+	if err := VerifyAttachments(p); err != nil {
+		return nil, nil, fmt.Errorf("ssp: self-check failed: %w", err)
+	}
+	return p, t.report, nil
+}
+
+// analyse builds region forests and dependence graphs, folds profiled
+// indirect-call edges into the forest, verifies the scratch registers are
+// free, and precomputes per-function dynamic call costs.
+func (t *Tool) analyse() error {
+	fo, err := cfg.BuildForest(t.p)
+	if err != nil {
+		return err
+	}
+	t.forest = fo
+	for _, f := range t.p.Funcs {
+		fr := fo.ByFunc[f.Name]
+		dg := dep.Build(t.p, f, fr.G, fr.Dom, fr.PDom)
+		t.an[f.Name] = &analysis{fr: fr, dg: dg}
+	}
+	// Dynamic call graph: indirect edges observed during profiling.
+	for callID, edges := range t.prof.CallEdges {
+		names := make([]string, 0, len(edges))
+		for name := range edges {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if edges[name] > 0 {
+				fo.AddIndirectEdge(callID, name)
+			}
+		}
+	}
+	// Scratch-register check.
+	var clash error
+	for _, f := range t.p.Funcs {
+		f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) {
+			var locs []ir.Loc
+			locs = in.AppendUses(locs)
+			locs = in.AppendDefs(locs)
+			for _, l := range locs {
+				if r, ok := l.IsGR(); ok && r == scratchGR {
+					clash = fmt.Errorf("ssp: program uses reserved register %v", scratchGR)
+				}
+				if pr, ok := l.IsPR(); ok && (pr == scratchPR || pr == scratchPR2) {
+					clash = fmt.Errorf("ssp: program uses reserved predicate %v", pr)
+				}
+			}
+		})
+	}
+	if clash != nil {
+		return clash
+	}
+	// Free-register pool for slice unrolling.
+	used := [ir.NumRegs]bool{}
+	used[ir.RegZero] = true
+	used[scratchGR] = true
+	for _, f := range t.p.Funcs {
+		f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) {
+			var locs []ir.Loc
+			locs = in.AppendUses(locs)
+			locs = in.AppendDefs(locs)
+			for _, l := range locs {
+				if r, ok := l.IsGR(); ok {
+					used[r] = true
+				}
+			}
+		})
+	}
+	for r := ir.Reg(1); r < ir.NumRegs; r++ {
+		if !used[r] {
+			t.freeRegs = append(t.freeRegs, r)
+		}
+	}
+	// Per-call dynamic cost: total expected cycles of the callee's
+	// instructions divided by its invocation count.
+	for _, f := range t.p.Funcs {
+		entries := t.prof.BlockCount(f.Name, f.Blocks[0].Label)
+		if entries == 0 {
+			continue
+		}
+		var cycles float64
+		f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) {
+			cycles += float64(t.prof.Freq(in)) * t.instrLatency(in)
+		})
+		t.callCycles[f.Name] = cycles / float64(entries)
+	}
+	return nil
+}
+
+// instrLatency is the machine model's latency estimate for one instruction,
+// with loads priced by cache profiling (§3.2.1).
+func (t *Tool) instrLatency(in *ir.Instr) float64 {
+	switch in.Op {
+	case ir.OpLd:
+		return t.prof.ExpectedLoadLatency(in.ID)
+	case ir.OpMul:
+		return 3
+	case ir.OpLiw, ir.OpLir:
+		return 3
+	case ir.OpCall, ir.OpCallB:
+		// Resolved at latency-query time via callCycles; unresolved
+		// indirect calls get a nominal cost.
+		if in.Op == ir.OpCall {
+			if c, ok := t.callCycles[in.Target]; ok {
+				return 1 + c
+			}
+		}
+		return 20
+	default:
+		return 1
+	}
+}
+
+// latFunc adapts instrLatency to the dep package's interface.
+func (t *Tool) latFunc() dep.LatencyFunc {
+	return func(in *ir.Instr) float64 { return t.instrLatency(in) }
+}

@@ -1,0 +1,171 @@
+package ssp
+
+import (
+	"ssp/internal/ir"
+)
+
+// triggerPoint is where a chk.c is embedded in the main thread's code.
+type triggerPoint struct {
+	block *ir.Block
+	pos   int
+}
+
+// targetBlocksInRegionFunc maps every delinquent target to the block of the
+// region's function through which execution reaches it: the target's own
+// block, or the bound call site's block for targets inside callees.
+func (t *Tool) targetBlocksInRegionFunc(sl *Slice) []*ir.Block {
+	f := sl.Region.F
+	var out []*ir.Block
+	for _, tg := range sl.Targets {
+		fn, blk, _ := t.p.InstrByID(tg.ID)
+		if fn == nil {
+			continue
+		}
+		for fn.Name != f.Name {
+			site := sl.Ctx[fn.Name]
+			if site == nil {
+				fn = nil
+				break
+			}
+			var callBlk *ir.Block
+			fn, callBlk, _ = t.p.InstrByID(site.call.ID)
+			blk = callBlk
+		}
+		if fn != nil && blk != nil {
+			out = append(out, blk)
+		}
+	}
+	return out
+}
+
+// placeTrigger chooses the chk.c location per §3.3: the trigger must
+// control-dominate every path to the delinquent load (a one-trigger-per-path
+// cut), sit where all live-in values are available, and — for loop regions —
+// fire once per iteration so dead chains re-arm. For loop regions that is
+// the loop header's top; for non-loop regions the tool starts after the last
+// live-in definition in the target's dominator chain and, when hoisting is
+// on, moves to immediate dominators while the live-ins remain available,
+// merging triggers.
+func (t *Tool) placeTrigger(sl *Slice) (triggerPoint, bool) {
+	f := sl.Region.F
+	an := t.an[f.Name]
+	if sl.Region.Loop != nil {
+		header := f.Blocks[sl.Region.Loop.Header]
+		return triggerPoint{block: header, pos: 0}, true
+	}
+	targets := t.targetBlocksInRegionFunc(sl)
+	if len(targets) == 0 {
+		return triggerPoint{}, false
+	}
+	// Common dominator of all target blocks.
+	cand := targets[0]
+	for _, b := range targets[1:] {
+		for cand != nil && !an.fr.Dom.Dominates(cand.Index, b.Index) {
+			idom := an.fr.Dom.IDom[cand.Index]
+			if idom < 0 {
+				cand = f.Blocks[0]
+				break
+			}
+			cand = f.Blocks[idom]
+		}
+	}
+	if cand == nil {
+		return triggerPoint{}, false
+	}
+	// Position after the last live-in definition inside the candidate.
+	pos := t.lastLiveInDef(sl, cand) + 1
+	if !t.liveInsAvailable(sl, cand) {
+		return triggerPoint{}, false
+	}
+	// Hoist to immediate dominators while the live-ins stay available
+	// (§3.3: "move the trigger points to the immediate control dominant
+	// nodes if the slack value of the immediate dominant node remains the
+	// same").
+	if t.opt.TriggerHoisting {
+		for {
+			idom := an.fr.Dom.IDom[cand.Index]
+			if idom < 0 {
+				break
+			}
+			up := f.Blocks[idom]
+			if !t.liveInsAvailable(sl, up) {
+				break
+			}
+			cand = up
+			pos = t.lastLiveInDef(sl, cand) + 1
+		}
+	}
+	if pos > len(cand.Instrs) {
+		pos = len(cand.Instrs)
+	}
+	return triggerPoint{block: cand, pos: pos}, true
+}
+
+// lastLiveInDef returns the index of the last instruction in b defining a
+// live-in register, or -1.
+func (t *Tool) lastLiveInDef(sl *Slice, b *ir.Block) int {
+	liveIn := map[ir.Reg]bool{}
+	for _, r := range sl.LiveIns {
+		liveIn[r] = true
+	}
+	last := -1
+	var defs []ir.Loc
+	for i, in := range b.Instrs {
+		defs = in.AppendDefs(defs[:0])
+		for _, l := range defs {
+			if r, ok := l.IsGR(); ok && liveIn[r] {
+				last = i
+			}
+		}
+	}
+	return last
+}
+
+// liveInsAvailable reports whether every live-in register has a definition
+// in b or in a block dominating b — the values exist when the trigger fires.
+func (t *Tool) liveInsAvailable(sl *Slice, b *ir.Block) bool {
+	f := sl.Region.F
+	an := t.an[f.Name]
+	for _, r := range sl.LiveIns {
+		ok := false
+		f.Instrs(func(db *ir.Block, _ int, in *ir.Instr) {
+			if ok {
+				return
+			}
+			var defs []ir.Loc
+			defs = in.AppendDefs(defs)
+			for _, l := range defs {
+				if dr, isGR := l.IsGR(); isGR && dr == r {
+					if db == b || an.fr.Dom.Dominates(db.Index, b.Index) {
+						ok = true
+					}
+				}
+			}
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// embedTrigger turns the padding nop at (or after) the trigger point into
+// the chk.c, or inserts a fresh chk.c when no nop is available — "the tool
+// adapts the binary by replacing a single nop instruction with a chk.c
+// instruction" (Figure 7).
+func (t *Tool) embedTrigger(tp triggerPoint, stubLabel string) {
+	for i := tp.pos; i < len(tp.block.Instrs); i++ {
+		in := tp.block.Instrs[i]
+		if in.Op == ir.OpNop && in.Qp == ir.PTrue {
+			in.Op = ir.OpChk
+			in.Target = stubLabel
+			return
+		}
+		if in.Op.IsBranch() {
+			break // don't drift past control flow
+		}
+	}
+	chk := &ir.Instr{Op: ir.OpChk, Target: stubLabel}
+	t.p.Assign(chk)
+	tp.block.InsertAt(tp.pos, chk)
+}

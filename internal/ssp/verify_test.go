@@ -1,0 +1,93 @@
+package ssp
+
+import (
+	"testing"
+
+	"ssp/internal/handtuned"
+	"ssp/internal/ir"
+	"ssp/internal/workloads"
+)
+
+func TestVerifyAcceptsToolOutput(t *testing.T) {
+	for _, name := range []string{"mcf", "em3d", "treeadd.df", "health"} {
+		_, enh, _, _ := adaptWorkload(t, name, DefaultOptions())
+		if err := VerifyAttachments(enh); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestVerifyAcceptsHandAdaptations(t *testing.T) {
+	for _, name := range []string{"mcf", "health"} {
+		spec, _ := workloads.ByName(name)
+		orig, _ := spec.Build(spec.TestScale)
+		hand, err := handtuned.Adapt(name, orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyAttachments(hand); err != nil {
+			t.Errorf("%s hand: %v", name, err)
+		}
+	}
+}
+
+// corrupt applies fn to a fresh adapted mcf and expects verification to
+// fail.
+func corrupt(t *testing.T, what string, fn func(*ir.Program)) {
+	t.Helper()
+	_, enh, _, _ := adaptWorkload(t, "mcf", DefaultOptions())
+	fn(enh)
+	if err := VerifyAttachments(enh); err == nil {
+		t.Errorf("%s: verification accepted a corrupted binary", what)
+	}
+}
+
+func TestVerifyRejectsCorruptions(t *testing.T) {
+	corrupt(t, "store in slice", func(p *ir.Program) {
+		f := p.FuncByName("main")
+		b := f.BlockByLabel("ssp_slice_0")
+		st := &ir.Instr{Op: ir.OpSt, Ra: 21, Rb: 21}
+		p.Assign(st)
+		b.InsertAt(1, st)
+	})
+	corrupt(t, "call in slice", func(p *ir.Program) {
+		f := p.FuncByName("main")
+		b := f.BlockByLabel("ssp_slice_0")
+		c := &ir.Instr{Op: ir.OpCall, Target: "main", Bd: 0}
+		p.Assign(c)
+		b.InsertAt(1, c)
+	})
+	corrupt(t, "missing kill", func(p *ir.Program) {
+		f := p.FuncByName("main")
+		b := f.BlockByLabel("ssp_slice_0")
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpKill {
+				in.Op = ir.OpNop
+			}
+		}
+	})
+	corrupt(t, "stub without spawn", func(p *ir.Program) {
+		f := p.FuncByName("main")
+		b := f.BlockByLabel("ssp_stub_0")
+		b.Terminator().Op = ir.OpNop
+		b.Terminator().Target = ""
+	})
+	corrupt(t, "uninitialized live-in slot", func(p *ir.Program) {
+		f := p.FuncByName("main")
+		b := f.BlockByLabel("ssp_slice_0")
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpLir {
+				in.Imm = 13 // a slot the stub never writes
+				break
+			}
+		}
+	})
+	corrupt(t, "chk to non-stub", func(p *ir.Program) {
+		f := p.FuncByName("main")
+		f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) {
+			if in.Op == ir.OpChk {
+				in.Target = "loop"
+			}
+		})
+	})
+}

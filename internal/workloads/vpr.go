@@ -1,0 +1,101 @@
+package workloads
+
+import "ssp/internal/ir"
+
+// Vpr reproduces the hot loop of SPEC CPU2000 vpr's placement phase:
+// evaluating swap costs touches a block record through a pointer, reads its
+// grid coordinates, and indexes the routing-cost grid — a three-level
+// pointer/index chain per candidate. Candidates are chosen by an LCG (vpr
+// uses my_irand), so the chain roots are arithmetic and chaining SP can run
+// ahead:
+//
+//	for i in 0..n: j = lcg(j); b = blocks[j];
+//	               cost += grid[b->y * W + b->x]
+//
+// The block count is rounded up to a power of two so the LCG reduction is a
+// mask, as in table-driven placers.
+func Vpr() Spec {
+	return Spec{
+		Name:        "vpr",
+		Description: "FPGA placement: randomized block-position and grid-cost evaluation",
+		Scale:       1 << 16,
+		TestScale:   1 << 11,
+		Build:       buildVpr,
+	}
+}
+
+const (
+	blkX = 0
+	blkY = 8
+)
+
+func buildVpr(scale int) (*ir.Program, uint64) {
+	n := 1
+	for n < scale {
+		n *= 2
+	}
+	p := ir.NewProgram("main")
+	// Grid dimensions: W x W with W^2 >= n.
+	w := 1
+	for w*w < n {
+		w *= 2
+	}
+	// Block pointer array (dense), block records (shuffled), cost grid.
+	blkPtrBase := heapBase
+	blocks := newHeap(p, blkPtrBase+uint64(n)*8+0x10000, n, 64, 601)
+	gridBase := blocks.end() + 0x10000
+	bx := make([]int, n)
+	by := make([]int, n)
+	for i := 0; i < n; i++ {
+		a := blocks.alloc()
+		p.SetWord(blkPtrBase+uint64(i)*8, a)
+		bx[i] = blocks.order[i] % w
+		by[i] = (blocks.order[i] * 31) % w
+		p.SetWord(a+blkX, uint64(bx[i]))
+		p.SetWord(a+blkY, uint64(by[i]))
+	}
+	gridVal := func(x, y int) uint64 { return uint64((x*3+y*7)%1021 + 1) }
+	for i := 0; i < n; i++ {
+		// Only cells actually read need backing values; others load 0.
+		p.SetWord(gridBase+uint64(by[i]*w+bx[i])*8, gridVal(bx[i], by[i]))
+	}
+	// LCG over block indices: j = (j*la + lc) & (n-1).
+	const la, lc = 16807, 7
+	var want uint64
+	j := 0
+	for i := 0; i < n; i++ {
+		j = (j*la + lc) & (n - 1)
+		want += gridVal(bx[j], by[j])
+	}
+
+	fb := ir.NewFunc(p, "main")
+	e := fb.Block("entry")
+	e.MovI(14, 0)        // i
+	e.MovI(15, int64(n)) // limit
+	e.MovI(16, 0)        // j (LCG state)
+	e.MovI(20, 0)        // cost accumulator
+	e.MovI(21, int64(blkPtrBase))
+	e.MovI(22, int64(gridBase))
+	loop := fb.Block("loop")
+	loop.Nop() // trigger padding
+	loop.MulI(16, 16, la)
+	loop.AddI(16, 16, lc)
+	loop.AndI(16, 16, int64(n-1))
+	loop.ShlI(17, 16, 3)
+	loop.Add(17, 17, 21)
+	loop.Ld(18, 17, 0)    // b = blocks[j] (pointer-array load)
+	loop.Ld(19, 18, blkX) // b->x (delinquent)
+	loop.Ld(23, 18, blkY) // b->y (delinquent)
+	loop.MulI(23, 23, int64(w))
+	loop.Add(23, 23, 19)
+	loop.ShlI(23, 23, 3)
+	loop.Add(23, 23, 22)
+	loop.Ld(24, 23, 0) // grid cost (delinquent)
+	loop.Add(20, 20, 24)
+	loop.AddI(14, 14, 1)
+	loop.Cmp(ir.CondLT, 6, 7, 14, 15)
+	loop.On(6).Br("loop")
+	done := fb.Block("done")
+	epilogue(done, 20)
+	return p, want
+}
