@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check fmt vet test race bench
+
+# check is the full gate: formatting, vet, and the test suite under the
+# race detector (the concurrent experiment engine is exercised by
+# internal/exp's determinism and coalescing tests).
+check: fmt vet race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -33,13 +33,26 @@ var (
 	suite     *exp.Suite
 )
 
-func paperSuite() *exp.Suite {
+// paperSuite returns the process-wide suite. The figure drivers presimulate
+// their cells on the suite's worker pool, and every cell is cached, so a
+// benchmark only ever pays for runs no earlier benchmark already computed.
+func paperSuite(b *testing.B) *exp.Suite {
 	suiteOnce.Do(func() { suite = exp.NewSuite(exp.ScalePaper) })
 	return suite
 }
 
+// presimulate fans the given cells out on the shared suite's worker pool so
+// the measured loops below run against a warm cache, the same presimulation
+// the figure drivers do internally.
+func presimulate(b *testing.B, s *exp.Suite, keys []exp.RunKey) {
+	b.Helper()
+	if err := s.RunAll(keys, s.Workers); err != nil {
+		b.Fatal(err)
+	}
+}
+
 func BenchmarkFigure2(b *testing.B) {
-	s := paperSuite()
+	s := paperSuite(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := s.Figure2()
 		if err != nil {
@@ -60,7 +73,7 @@ func BenchmarkFigure2(b *testing.B) {
 }
 
 func BenchmarkTable2(b *testing.B) {
-	s := paperSuite()
+	s := paperSuite(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := s.Table2()
 		if err != nil {
@@ -82,7 +95,7 @@ func BenchmarkTable2(b *testing.B) {
 }
 
 func BenchmarkFigure8(b *testing.B) {
-	s := paperSuite()
+	s := paperSuite(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := s.Figure8()
 		if err != nil {
@@ -103,7 +116,7 @@ func BenchmarkFigure8(b *testing.B) {
 }
 
 func BenchmarkFigure9(b *testing.B) {
-	s := paperSuite()
+	s := paperSuite(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := s.Figure9()
 		if err != nil {
@@ -123,7 +136,7 @@ func BenchmarkFigure9(b *testing.B) {
 }
 
 func BenchmarkFigure10(b *testing.B) {
-	s := paperSuite()
+	s := paperSuite(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := s.Figure10()
 		if err != nil {
@@ -141,7 +154,7 @@ func BenchmarkFigure10(b *testing.B) {
 }
 
 func BenchmarkSection45(b *testing.B) {
-	s := paperSuite()
+	s := paperSuite(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := s.Section45()
 		if err != nil {
@@ -157,8 +170,10 @@ func BenchmarkSection45(b *testing.B) {
 // benchAblation measures one disabled design choice against the full tool on
 // the chaining-heavy benchmarks.
 func benchAblation(b *testing.B, v exp.Variant) {
-	s := paperSuite()
+	s := paperSuite(b)
 	benches := []string{"mcf", "em3d", "vpr"}
+	presimulate(b, s, exp.Cross(benches, []sim.Model{sim.InOrder},
+		[]exp.Variant{exp.VarBase, exp.VarSSP, v}))
 	for i := 0; i < b.N; i++ {
 		var full, ablated []float64
 		for _, name := range benches {
@@ -220,9 +235,7 @@ func BenchmarkAdapt(b *testing.B) {
 	}
 	p, _ := spec.Build(5000)
 	cfg := sim.DefaultInOrder()
-	cfg.Mem.L1Size = 1 << 10
-	cfg.Mem.L2Size = 4 << 10
-	cfg.Mem.L3Size = 16 << 10
+	cfg.UseTinyMem()
 	prof, err := profile.Collect(p, cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -243,9 +256,7 @@ func BenchmarkProfile(b *testing.B) {
 	}
 	p, _ := spec.Build(2000)
 	cfg := sim.DefaultInOrder()
-	cfg.Mem.L1Size = 1 << 10
-	cfg.Mem.L2Size = 4 << 10
-	cfg.Mem.L3Size = 16 << 10
+	cfg.UseTinyMem()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := profile.Collect(p, cfg); err != nil {
@@ -259,8 +270,10 @@ func BenchmarkProfile(b *testing.B) {
 // benchmarks, quantifying how much of the §4.5 hand-adaptation gap the
 // automated unroller closes.
 func BenchmarkExtensionUnroll(b *testing.B) {
-	s := paperSuite()
+	s := paperSuite(b)
 	benches := []string{"mcf", "vpr", "treeadd.bf"}
+	presimulate(b, s, exp.Cross(benches, []sim.Model{sim.InOrder},
+		[]exp.Variant{exp.VarBase, exp.VarSSP, exp.VarUnroll}))
 	for i := 0; i < b.N; i++ {
 		var full, unrolled []float64
 		for _, name := range benches {

@@ -2,45 +2,115 @@
 // Table 2, Figure 8, Figure 9, Figure 10, the §4.5 automatic-vs-hand
 // comparison, and the ablation study, printing each as a text table.
 //
+// The experiment matrix is presimulated on a worker pool (-workers, default
+// the CPU count); per-cell progress lines go to stderr while the tables go
+// to stdout. Results are bit-identical at any worker count.
+//
 // Usage:
 //
 //	experiments                  # everything at paper scale
 //	experiments -scale test      # quick pass with the scaled-down machine
 //	experiments -only fig8,table2
+//	experiments -workers 1       # serial
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"time"
 
 	"ssp/internal/exp"
 	"ssp/internal/sim"
 )
 
+// exhibits lists the valid -only keys in output order.
+var exhibits = []string{"fig2", "table2", "fig8", "fig9", "fig10", "sec45", "ablations"}
+
 func main() {
 	var (
-		scale = flag.String("scale", "paper", "experiment scale: paper or test")
-		only  = flag.String("only", "", "comma-separated subset: fig2,table2,fig8,fig9,fig10,sec45,ablations")
+		scale   = flag.String("scale", "paper", "experiment scale: paper or test")
+		only    = flag.String("only", "", "comma-separated subset: "+strings.Join(exhibits, ","))
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel simulations (1 = serial)")
+		quiet   = flag.Bool("quiet", false, "suppress the per-cell progress lines on stderr")
 	)
 	flag.Parse()
-	sc := exp.ScalePaper
-	if *scale == "test" {
-		sc = exp.ScaleTest
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
 	}
-	wanted := map[string]bool{}
-	if *only != "" {
-		for _, k := range strings.Split(*only, ",") {
-			wanted[strings.TrimSpace(k)] = true
-		}
+	wanted, err := parseOnly(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "experiments: -workers must be at least 1, got %d\n", *workers)
+		os.Exit(2)
 	}
 	want := func(k string) bool { return len(wanted) == 0 || wanted[k] }
 
 	s := exp.NewSuite(sc)
+	s.Workers = *workers
+	if !*quiet {
+		s.Progress = progressPrinter(os.Stderr)
+	}
 	if err := run(s, want); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+}
+
+// parseScale maps the -scale flag to a suite scale, rejecting typos instead
+// of silently falling back to paper scale.
+func parseScale(s string) (exp.Scale, error) {
+	switch s {
+	case "paper":
+		return exp.ScalePaper, nil
+	case "test":
+		return exp.ScaleTest, nil
+	}
+	return 0, fmt.Errorf("unknown -scale %q (valid: paper, test)", s)
+}
+
+// parseOnly validates the -only subset against the known exhibit keys, so a
+// typo fails loudly instead of printing nothing and exiting 0.
+func parseOnly(s string) (map[string]bool, error) {
+	wanted := map[string]bool{}
+	if s == "" {
+		return wanted, nil
+	}
+	valid := map[string]bool{}
+	for _, k := range exhibits {
+		valid[k] = true
+	}
+	for _, k := range strings.Split(s, ",") {
+		k = strings.TrimSpace(k)
+		if k == "" {
+			continue
+		}
+		if !valid[k] {
+			return nil, fmt.Errorf("unknown -only key %q (valid: %s)", k, strings.Join(exhibits, ", "))
+		}
+		wanted[k] = true
+	}
+	return wanted, nil
+}
+
+// progressPrinter returns a Progress hook that writes one numbered line per
+// simulated cell. The suite may call it from many worker goroutines.
+func progressPrinter(w *os.File) func(exp.RunKey, *sim.Result, time.Duration) {
+	var mu sync.Mutex
+	done := 0
+	return func(k exp.RunKey, res *sim.Result, wall time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		fmt.Fprintf(w, "[%3d] %-28s %14d cycles  %7.2fs\n", done, k, res.Cycles, wall.Seconds())
 	}
 }
 

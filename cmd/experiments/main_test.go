@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ssp/internal/exp"
+)
+
+func TestParseScale(t *testing.T) {
+	if sc, err := parseScale("paper"); err != nil || sc != exp.ScalePaper {
+		t.Fatalf("paper: %v %v", sc, err)
+	}
+	if sc, err := parseScale("test"); err != nil || sc != exp.ScaleTest {
+		t.Fatalf("test: %v %v", sc, err)
+	}
+	if _, err := parseScale("tset"); err == nil {
+		t.Fatal("accepted a typoed -scale")
+	} else if !strings.Contains(err.Error(), "paper") {
+		t.Fatalf("error does not list valid scales: %v", err)
+	}
+}
+
+func TestParseOnly(t *testing.T) {
+	w, err := parseOnly("")
+	if err != nil || len(w) != 0 {
+		t.Fatalf("empty: %v %v", w, err)
+	}
+	w, err = parseOnly("fig8, table2")
+	if err != nil || !w["fig8"] || !w["table2"] || len(w) != 2 {
+		t.Fatalf("subset: %v %v", w, err)
+	}
+	// A typoed key must fail loudly instead of printing nothing and
+	// exiting 0.
+	if _, err := parseOnly("fig88"); err == nil {
+		t.Fatal("accepted a typoed -only key")
+	} else if !strings.Contains(err.Error(), "ablations") {
+		t.Fatalf("error does not list valid keys: %v", err)
+	}
+	if _, err := parseOnly("fig8,bogus"); err == nil {
+		t.Fatal("accepted a typoed key hidden in a valid list")
+	}
+}
+
+func TestRunSubsetSmoke(t *testing.T) {
+	s := exp.NewSuite(exp.ScaleTest)
+	if err := run(s, func(k string) bool { return k == "table2" }); err != nil {
+		t.Fatal(err)
+	}
+}

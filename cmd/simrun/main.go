@@ -18,6 +18,7 @@ import (
 	"ssp/internal/ir"
 	"ssp/internal/sim"
 	"ssp/internal/sim/mem"
+	"ssp/internal/workloads"
 )
 
 func main() {
@@ -37,7 +38,7 @@ func main() {
 }
 
 func run(in, bench string, scale int, model string, tiny, loads bool) error {
-	p, err := cliutil.LoadProgram(in, bench, scale)
+	p, want, err := cliutil.LoadProgram(in, bench, scale)
 	if err != nil {
 		return err
 	}
@@ -56,6 +57,15 @@ func run(in, bench string, scale int, model string, tiny, loads bool) error {
 	}
 	if res.TimedOut {
 		return fmt.Errorf("watchdog expired after %d cycles", res.Cycles)
+	}
+	if bench != "" {
+		// Benchmark programs carry an expected checksum; a mismatch means
+		// the run (or an adaptation applied to it) corrupted architectural
+		// state, exactly what Suite.Run guards against in the experiments.
+		if got := m.Mem.Load(workloads.ResultAddr); got != want {
+			return fmt.Errorf("%s: checksum %d, want %d", bench, got, want)
+		}
+		fmt.Printf("checksum:     %d (verified)\n", want)
 	}
 	fmt.Printf("model:        %s\n", cfg.Model)
 	fmt.Printf("cycles:       %d\n", res.Cycles)

@@ -35,7 +35,7 @@ func main() {
 }
 
 func run(in, bench string, scale int, fnName, what, block string) error {
-	p, err := cliutil.LoadProgram(in, bench, scale)
+	p, _, err := cliutil.LoadProgram(in, bench, scale)
 	if err != nil {
 		return err
 	}

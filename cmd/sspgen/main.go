@@ -43,7 +43,7 @@ func main() {
 
 func run(in, bench string, scale int, profPath string, tiny bool, out string,
 	cutoff float64, chain, rotate, predict, spec bool) error {
-	p, err := cliutil.LoadProgram(in, bench, scale)
+	p, _, err := cliutil.LoadProgram(in, bench, scale)
 	if err != nil {
 		return err
 	}

@@ -34,7 +34,7 @@ func main() {
 }
 
 func run(in, bench string, scale int, model string, tiny bool, out string) error {
-	p, err := cliutil.LoadProgram(in, bench, scale)
+	p, _, err := cliutil.LoadProgram(in, bench, scale)
 	if err != nil {
 		return err
 	}

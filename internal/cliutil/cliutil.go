@@ -16,28 +16,34 @@ import (
 // built-in benchmark generator (bench at the given scale; scale 0 selects
 // the benchmark's default experiment scale). Exactly one of in and bench
 // must be set.
-func LoadProgram(in, bench string, scale int) (*ir.Program, error) {
+//
+// For benchmark inputs the second return is the expected final checksum the
+// program stores to workloads.ResultAddr, so callers can verify a run
+// computed the right answer. Assembly files carry no expected value; the
+// checksum is 0 and not meaningful for them.
+func LoadProgram(in, bench string, scale int) (*ir.Program, uint64, error) {
 	switch {
 	case in != "" && bench != "":
-		return nil, fmt.Errorf("specify either -in or -bench, not both")
+		return nil, 0, fmt.Errorf("specify either -in or -bench, not both")
 	case in != "":
 		src, err := os.ReadFile(in)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return ir.Parse(string(src))
+		p, err := ir.Parse(string(src))
+		return p, 0, err
 	case bench != "":
 		spec, err := workloads.ByName(bench)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if scale == 0 {
 			scale = spec.Scale
 		}
-		p, _ := spec.Build(scale)
-		return p, nil
+		p, want := spec.Build(scale)
+		return p, want, nil
 	}
-	return nil, fmt.Errorf("specify -in FILE or -bench NAME")
+	return nil, 0, fmt.Errorf("specify -in FILE or -bench NAME")
 }
 
 // MachineConfig builds a simulator configuration for "in-order" or "ooo",
@@ -53,9 +59,7 @@ func MachineConfig(model string, tiny bool) (sim.Config, error) {
 		return c, fmt.Errorf("unknown model %q (want in-order or ooo)", model)
 	}
 	if tiny {
-		c.Mem.L1Size = 1 << 10
-		c.Mem.L2Size = 4 << 10
-		c.Mem.L3Size = 16 << 10
+		c.UseTinyMem()
 	}
 	return c, nil
 }

@@ -6,30 +6,40 @@ import (
 	"testing"
 
 	"ssp/internal/ir"
+	"ssp/internal/workloads"
 )
 
 func TestLoadProgramFromBench(t *testing.T) {
-	p, err := LoadProgram("", "mcf", 500)
+	p, want, err := LoadProgram("", "mcf", 500)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p.FuncByName("main") == nil {
 		t.Fatal("benchmark program lacks main")
 	}
-	if _, err := LoadProgram("", "nosuch", 0); err == nil {
+	// The returned checksum must match the generator's own expectation, so
+	// simrun can verify benchmark runs the way Suite.Run does.
+	spec, _ := workloads.ByName("mcf")
+	if _, specWant := spec.Build(500); want != specWant {
+		t.Fatalf("checksum %d, spec.Build says %d", want, specWant)
+	}
+	if _, _, err := LoadProgram("", "nosuch", 0); err == nil {
 		t.Fatal("accepted unknown benchmark")
 	}
 }
 
 func TestLoadProgramFromFile(t *testing.T) {
-	p, _ := LoadProgram("", "mcf", 300)
+	p, _, _ := LoadProgram("", "mcf", 300)
 	path := filepath.Join(t.TempDir(), "prog.ssp")
 	if err := os.WriteFile(path, []byte(ir.Format(p)), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	q, err := LoadProgram(path, "", 0)
+	q, want, err := LoadProgram(path, "", 0)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if want != 0 {
+		t.Fatalf("file inputs carry no expected checksum, got %d", want)
 	}
 	if q.NumInstrs() != p.NumInstrs() {
 		t.Fatalf("file round trip: %d instrs vs %d", q.NumInstrs(), p.NumInstrs())
@@ -37,13 +47,13 @@ func TestLoadProgramFromFile(t *testing.T) {
 }
 
 func TestLoadProgramArgErrors(t *testing.T) {
-	if _, err := LoadProgram("", "", 0); err == nil {
+	if _, _, err := LoadProgram("", "", 0); err == nil {
 		t.Fatal("accepted neither -in nor -bench")
 	}
-	if _, err := LoadProgram("x.ssp", "mcf", 0); err == nil {
+	if _, _, err := LoadProgram("x.ssp", "mcf", 0); err == nil {
 		t.Fatal("accepted both -in and -bench")
 	}
-	if _, err := LoadProgram("/nonexistent/file.ssp", "", 0); err == nil {
+	if _, _, err := LoadProgram("/nonexistent/file.ssp", "", 0); err == nil {
 		t.Fatal("accepted missing file")
 	}
 }

@@ -4,10 +4,20 @@
 // in-order and OOO models), Figure 9 (where delinquent loads are satisfied),
 // Figure 10 (cycle breakdowns), the §4.5 automatic-vs-hand comparison, and
 // the ablations of the design choices called out in DESIGN.md.
+//
+// A Suite is safe for concurrent use: builds, profiles, adaptations, and
+// simulations are memoized behind singleflight-style per-key cells, so
+// duplicate in-flight requests coalesce onto one computation instead of
+// racing or double-simulating. RunAll fans the experiment matrix out over a
+// worker pool; the figure drivers use it to presimulate their cells in
+// parallel before the (cheap, cache-hitting) serial table-assembly loops.
 package exp
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"time"
 
 	"ssp/internal/handtuned"
 	"ssp/internal/ir"
@@ -47,37 +57,67 @@ const (
 	VarUnroll Variant = "ssp-unroll2"
 )
 
+// RunKey identifies one cell of the experiment matrix: a benchmark run as a
+// particular variant on a particular machine model.
+type RunKey struct {
+	Bench   string
+	Model   sim.Model
+	Variant Variant
+}
+
+func (k RunKey) String() string {
+	return fmt.Sprintf("%s/%s/%s", k.Bench, k.Model, k.Variant)
+}
+
 // Suite caches built programs, profiles, adaptations, and simulation results
-// so the experiment drivers and benchmarks share work.
+// so the experiment drivers and benchmarks share work. The zero Suite is not
+// usable; construct one with NewSuite. All methods are safe for concurrent
+// use, and results are deterministic: a RunKey maps to the same *sim.Result
+// no matter how many goroutines race to compute it.
 type Suite struct {
 	Scale Scale
 
-	progs map[string]*progSet
-	runs  map[runKey]*sim.Result
+	// Workers is the concurrency the figure drivers hand to RunAll.
+	// NewSuite defaults it to runtime.GOMAXPROCS(0); set it to 1 for a
+	// fully serial suite.
+	Workers int
+
+	// Progress, when non-nil, is called once per newly simulated cell with
+	// the cell's key, its result, and the simulation's wall time. Cached
+	// hits do not fire it. It may be called from many goroutines at once.
+	Progress func(key RunKey, res *sim.Result, wall time.Duration)
+
+	mu    sync.Mutex
+	progs map[string]*cell[*progSet]
+	runs  map[RunKey]*cell[*sim.Result]
 }
 
+// progSet is one benchmark's built program, profile, and adapted variants.
 type progSet struct {
-	spec    workloads.Spec
-	orig    *ir.Program
-	want    uint64
-	prof    *profile.Profile
-	del     []int
-	adapted map[Variant]*ir.Program
-	reports map[Variant]*ssp.Report
+	spec workloads.Spec
+	orig *ir.Program
+	want uint64
+	prof *profile.Profile
+	del  []int
+
+	mu       sync.Mutex
+	variants map[Variant]*cell[variantProg]
 }
 
-type runKey struct {
-	bench   string
-	model   sim.Model
-	variant Variant
+// variantProg pairs an adapted binary with the tool report that produced it
+// (nil for the hand adaptation, which has no tool run behind it).
+type variantProg struct {
+	prog *ir.Program
+	rep  *ssp.Report
 }
 
 // NewSuite returns an empty suite at the given scale.
 func NewSuite(s Scale) *Suite {
 	return &Suite{
-		Scale: s,
-		progs: make(map[string]*progSet),
-		runs:  make(map[runKey]*sim.Result),
+		Scale:   s,
+		Workers: runtime.GOMAXPROCS(0),
+		progs:   make(map[string]*cell[*progSet]),
+		runs:    make(map[RunKey]*cell[*sim.Result]),
 	}
 }
 
@@ -91,9 +131,7 @@ func (s *Suite) machineConfig(model sim.Model) sim.Config {
 		c = sim.DefaultOOO()
 	}
 	if s.Scale == ScaleTest {
-		c.Mem.L1Size = 1 << 10
-		c.Mem.L2Size = 4 << 10
-		c.Mem.L3Size = 16 << 10
+		c.UseTinyMem()
 	}
 	c.MaxCycles = 4_000_000_000
 	return c
@@ -107,31 +145,35 @@ func (s *Suite) scaleOf(spec workloads.Spec) int {
 }
 
 // prog builds (once) the benchmark, its profile, and its delinquent set.
+// Concurrent callers for the same benchmark coalesce onto one build.
 func (s *Suite) prog(bench string) (*progSet, error) {
-	if ps, ok := s.progs[bench]; ok {
-		return ps, nil
+	s.mu.Lock()
+	c, ok := s.progs[bench]
+	if !ok {
+		c = new(cell[*progSet])
+		s.progs[bench] = c
 	}
-	spec, err := workloads.ByName(bench)
-	if err != nil {
-		return nil, err
-	}
-	orig, want := spec.Build(s.scaleOf(spec))
-	prof, err := profile.Collect(orig, s.machineConfig(sim.InOrder))
-	if err != nil {
-		return nil, fmt.Errorf("%s: profile: %w", bench, err)
-	}
-	opt := ssp.DefaultOptions()
-	ps := &progSet{
-		spec:    spec,
-		orig:    orig,
-		want:    want,
-		prof:    prof,
-		del:     prof.DelinquentLoads(opt.DelinquentCutoff, opt.MaxDelinquent),
-		adapted: make(map[Variant]*ir.Program),
-		reports: make(map[Variant]*ssp.Report),
-	}
-	s.progs[bench] = ps
-	return ps, nil
+	s.mu.Unlock()
+	return c.do(func() (*progSet, error) {
+		spec, err := workloads.ByName(bench)
+		if err != nil {
+			return nil, err
+		}
+		orig, want := spec.Build(s.scaleOf(spec))
+		prof, err := profile.Collect(orig, s.machineConfig(sim.InOrder))
+		if err != nil {
+			return nil, fmt.Errorf("%s: profile: %w", bench, err)
+		}
+		opt := ssp.DefaultOptions()
+		return &progSet{
+			spec:     spec,
+			orig:     orig,
+			want:     want,
+			prof:     prof,
+			del:      prof.DelinquentLoads(opt.DelinquentCutoff, opt.MaxDelinquent),
+			variants: make(map[Variant]*cell[variantProg]),
+		}, nil
+	})
 }
 
 // variantOptions maps an adaptation variant to tool options.
@@ -155,68 +197,92 @@ func variantOptions(v Variant) (ssp.Options, bool) {
 	return opt, true
 }
 
-// program returns the binary for a benchmark variant, adapting on demand.
-func (s *Suite) program(bench string, v Variant) (*ir.Program, error) {
+// program returns the binary and tool report for a benchmark variant,
+// adapting on demand (once per variant; duplicate requests coalesce). The
+// report is nil for variants no tool run produces (base, the perfect-memory
+// bounds, and the hand adaptation).
+func (s *Suite) program(bench string, v Variant) (*ir.Program, *ssp.Report, error) {
 	ps, err := s.prog(bench)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	switch v {
 	case VarBase, VarPerfMem, VarPerfDel:
-		return ps.orig, nil
-	case VarHand:
-		if p, ok := ps.adapted[v]; ok {
-			return p, nil
-		}
-		p, err := handtuned.Adapt(bench, ps.orig)
-		if err != nil {
-			return nil, err
-		}
-		ps.adapted[v] = p
-		return p, nil
+		return ps.orig, nil, nil
 	}
-	if p, ok := ps.adapted[v]; ok {
-		return p, nil
-	}
-	opt, ok := variantOptions(v)
+	ps.mu.Lock()
+	c, ok := ps.variants[v]
 	if !ok {
-		return nil, fmt.Errorf("exp: unknown variant %q", v)
+		c = new(cell[variantProg])
+		ps.variants[v] = c
 	}
-	p, rep, err := ssp.Adapt(ps.orig, ps.prof, opt, bench)
+	ps.mu.Unlock()
+	vp, err := c.do(func() (variantProg, error) {
+		if v == VarHand {
+			p, err := handtuned.Adapt(bench, ps.orig)
+			if err != nil {
+				return variantProg{}, err
+			}
+			return variantProg{prog: p}, nil
+		}
+		opt, ok := variantOptions(v)
+		if !ok {
+			return variantProg{}, fmt.Errorf("exp: unknown variant %q", v)
+		}
+		p, rep, err := ssp.Adapt(ps.orig, ps.prof, opt, bench)
+		if err != nil {
+			return variantProg{}, fmt.Errorf("%s/%s: adapt: %w", bench, v, err)
+		}
+		return variantProg{prog: p, rep: rep}, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("%s/%s: adapt: %w", bench, v, err)
+		return nil, nil, err
 	}
-	ps.adapted[v] = p
-	ps.reports[v] = rep
-	return p, nil
+	return vp.prog, vp.rep, nil
 }
 
-// Report returns the tool report for an adapted variant (VarSSP by default),
-// adapting if needed.
+// Report returns the tool report for an adapted variant, adapting if needed.
+// Variants with no tool run behind them (base, perfmem, perfdel, and the
+// hand adaptation) have no report; asking for one is an error rather than a
+// silent nil.
 func (s *Suite) Report(bench string, v Variant) (*ssp.Report, error) {
-	if _, err := s.program(bench, v); err != nil {
+	_, rep, err := s.program(bench, v)
+	if err != nil {
 		return nil, err
 	}
-	return s.progs[bench].reports[v], nil
+	if rep == nil {
+		return nil, fmt.Errorf("exp: %s/%s has no tool report (only the ssp-adapted variants produce one)", bench, v)
+	}
+	return rep, nil
 }
 
 // Run simulates a benchmark variant on a model, caching and checksum-
-// verifying the result.
+// verifying the result. Concurrent calls with the same key coalesce onto a
+// single simulation and share its result.
 func (s *Suite) Run(bench string, model sim.Model, v Variant) (*sim.Result, error) {
-	key := runKey{bench, model, v}
-	if r, ok := s.runs[key]; ok {
-		return r, nil
+	key := RunKey{bench, model, v}
+	s.mu.Lock()
+	c, ok := s.runs[key]
+	if !ok {
+		c = new(cell[*sim.Result])
+		s.runs[key] = c
 	}
-	ps, err := s.prog(bench)
+	s.mu.Unlock()
+	return c.do(func() (*sim.Result, error) { return s.simulate(key) })
+}
+
+// simulate computes one cell of the matrix (no caching; Run wraps it).
+func (s *Suite) simulate(key RunKey) (*sim.Result, error) {
+	ps, err := s.prog(key.Bench)
 	if err != nil {
 		return nil, err
 	}
-	p, err := s.program(bench, v)
+	p, _, err := s.program(key.Bench, key.Variant)
 	if err != nil {
 		return nil, err
 	}
-	cfg := s.machineConfig(model)
-	switch v {
+	cfg := s.machineConfig(key.Model)
+	switch key.Variant {
 	case VarPerfMem:
 		cfg.Mem.PerfectMemory = true
 	case VarPerfDel:
@@ -231,17 +297,20 @@ func (s *Suite) Run(bench string, model sim.Model, v Variant) (*sim.Result, erro
 		return nil, err
 	}
 	m := sim.New(cfg, img)
+	start := time.Now()
 	res, err := m.Run()
 	if err != nil {
 		return nil, err
 	}
 	if res.TimedOut {
-		return nil, fmt.Errorf("%s/%v/%s: watchdog expired", bench, model, v)
+		return nil, fmt.Errorf("%s: watchdog expired", key)
 	}
 	if got := m.Mem.Load(workloads.ResultAddr); got != ps.want {
-		return nil, fmt.Errorf("%s/%v/%s: checksum %d, want %d", bench, model, v, got, ps.want)
+		return nil, fmt.Errorf("%s: checksum %d, want %d", key, got, ps.want)
 	}
-	s.runs[key] = res
+	if s.Progress != nil {
+		s.Progress(key, res, time.Since(start))
+	}
 	return res, nil
 }
 

@@ -20,6 +20,9 @@ type Fig2Row struct {
 
 // Figure2 runs the perfect-memory / perfect-delinquent bound study.
 func (s *Suite) Figure2() ([]Fig2Row, error) {
+	if err := s.presimulate(Fig2Keys()); err != nil {
+		return nil, err
+	}
 	var rows []Fig2Row
 	for _, b := range Benchmarks() {
 		r := Fig2Row{Bench: b}
@@ -78,6 +81,9 @@ type Fig8Row struct {
 
 // Figure8 runs the headline speedup study.
 func (s *Suite) Figure8() ([]Fig8Row, error) {
+	if err := s.presimulate(Fig8Keys()); err != nil {
+		return nil, err
+	}
 	var rows []Fig8Row
 	for _, b := range Benchmarks() {
 		r := Fig8Row{Bench: b}
@@ -115,6 +121,9 @@ type Fig9Row struct {
 
 // Figure9 computes the delinquent-load satisfaction breakdown.
 func (s *Suite) Figure9() ([]Fig9Row, error) {
+	if err := s.presimulate(Fig8Keys()); err != nil {
+		return nil, err
+	}
 	var rows []Fig9Row
 	for _, b := range Benchmarks() {
 		ps, err := s.prog(b)
@@ -193,6 +202,9 @@ type Fig10Row struct {
 
 // Figure10 computes normalized cycle breakdowns.
 func (s *Suite) Figure10() ([]Fig10Row, error) {
+	if err := s.presimulate(Fig8Keys()); err != nil {
+		return nil, err
+	}
 	var rows []Fig10Row
 	for _, b := range Benchmarks() {
 		base, err := s.Run(b, sim.InOrder, VarBase)
@@ -240,6 +252,9 @@ type Sec45Row struct {
 
 // Section45 runs the automatic-vs-hand study on mcf and health.
 func (s *Suite) Section45() ([]Sec45Row, error) {
+	if err := s.presimulate(Sec45Keys()); err != nil {
+		return nil, err
+	}
 	var rows []Sec45Row
 	for _, b := range []string{"mcf", "health"} {
 		for _, model := range []sim.Model{sim.InOrder, sim.OOO} {
@@ -275,9 +290,12 @@ func (s *Suite) Ablations(benches []string) ([]AblationRow, error) {
 	if benches == nil {
 		benches = Benchmarks()
 	}
+	if err := s.presimulate(AblationKeys(benches)); err != nil {
+		return nil, err
+	}
 	var rows []AblationRow
 	for _, b := range benches {
-		for _, v := range []Variant{VarSSP, VarNoChain, VarNoRotate, VarNoPred, VarNoSpec, VarUnroll} {
+		for _, v := range ablationVariants {
 			sp, err := s.Speedup(b, sim.InOrder, VarBase, sim.InOrder, v)
 			if err != nil {
 				return nil, err

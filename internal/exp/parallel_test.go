@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"ssp/internal/sim"
+)
+
+// TestSerialParallelDeterminism runs the whole suite twice — once strictly
+// serial, once on a wide worker pool — and diffs every table. The parallel
+// engine must be a pure scheduling change: same RunKey, same *sim.Result,
+// same rows, byte-identical rendered tables.
+func TestSerialParallelDeterminism(t *testing.T) {
+	serial := NewSuite(ScaleTest)
+	serial.Workers = 1
+	parallel := NewSuite(ScaleTest)
+	parallel.Workers = 8
+
+	type tables struct {
+		Fig2  []Fig2Row
+		Tab2  []Table2Row
+		Fig8  []Fig8Row
+		Fig9  []Fig9Row
+		Fig10 []Fig10Row
+		Sec45 []Sec45Row
+		Abl   []AblationRow
+	}
+	collect := func(s *Suite) tables {
+		t.Helper()
+		var out tables
+		var err error
+		if out.Fig2, err = s.Figure2(); err != nil {
+			t.Fatal(err)
+		}
+		if out.Tab2, err = s.Table2(); err != nil {
+			t.Fatal(err)
+		}
+		if out.Fig8, err = s.Figure8(); err != nil {
+			t.Fatal(err)
+		}
+		if out.Fig9, err = s.Figure9(); err != nil {
+			t.Fatal(err)
+		}
+		if out.Fig10, err = s.Figure10(); err != nil {
+			t.Fatal(err)
+		}
+		if out.Sec45, err = s.Section45(); err != nil {
+			t.Fatal(err)
+		}
+		if out.Abl, err = s.Ablations([]string{"mcf", "em3d"}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := collect(serial), collect(parallel)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("serial and parallel tables differ:\nserial:   %+v\nparallel: %+v", a, b)
+	}
+}
+
+// TestRunAllCoalesces hammers one suite from many goroutines with duplicate
+// keys; every caller must get the same cached *sim.Result pointer, proving
+// in-flight duplicates coalesced instead of double-simulating. Run under
+// `go test -race` this is also the race-detector coverage for the
+// concurrent Suite.
+func TestRunAllCoalesces(t *testing.T) {
+	s := NewSuite(ScaleTest)
+	keys := []RunKey{
+		{"mcf", sim.InOrder, VarBase},
+		{"mcf", sim.InOrder, VarSSP},
+		{"mcf", sim.OOO, VarSSP},
+		{"vpr", sim.InOrder, VarBase},
+		{"vpr", sim.InOrder, VarSSP},
+	}
+	const goroutines = 8
+	results := make([]map[RunKey]*sim.Result, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got := make(map[RunKey]*sim.Result, len(keys))
+			for _, k := range keys {
+				r, err := s.Run(k.Bench, k.Model, k.Variant)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got[k] = r
+			}
+			if _, err := s.Report("mcf", VarSSP); err != nil {
+				t.Error(err)
+			}
+			results[g] = got
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for g := 1; g < goroutines; g++ {
+		for _, k := range keys {
+			if results[g][k] != results[0][k] {
+				t.Fatalf("%s: goroutine %d got a different *sim.Result than goroutine 0", k, g)
+			}
+		}
+	}
+}
+
+func TestRunAllPropagatesErrors(t *testing.T) {
+	s := NewSuite(ScaleTest)
+	keys := []RunKey{
+		{"mcf", sim.InOrder, Variant("bogus")},
+		{"nosuchbench", sim.InOrder, VarBase},
+	}
+	err := s.RunAll(keys, 4)
+	if err == nil {
+		t.Fatal("RunAll swallowed cell errors")
+	}
+	// First failure in key order wins, deterministically.
+	if !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("expected the first key's error, got: %v", err)
+	}
+	if err := s.RunAll(nil, 4); err != nil {
+		t.Fatalf("empty key list: %v", err)
+	}
+}
+
+// TestReportNoToolVariants is the regression test for the nil, nil Report:
+// variants without a tool run behind them must return a descriptive error,
+// never a silent nil report.
+func TestReportNoToolVariants(t *testing.T) {
+	for _, v := range []Variant{VarHand, VarBase, VarPerfMem, VarPerfDel} {
+		rep, err := suite.Report("mcf", v)
+		if err == nil {
+			t.Fatalf("Report(mcf, %s) = %v, <nil>; want a descriptive error", v, rep)
+		}
+		if !strings.Contains(err.Error(), "no tool report") {
+			t.Fatalf("Report(mcf, %s): undescriptive error %v", v, err)
+		}
+	}
+	rep, err := suite.Report("mcf", VarSSP)
+	if err != nil || rep == nil {
+		t.Fatalf("Report(mcf, ssp) = %v, %v", rep, err)
+	}
+	if _, err := suite.Report("mcf", Variant("bogus")); err == nil {
+		t.Fatal("Report accepted an unknown variant")
+	}
+}
+
+func TestCrossAndKeys(t *testing.T) {
+	keys := Cross([]string{"a", "b"}, []sim.Model{sim.InOrder}, []Variant{VarBase, VarSSP})
+	if len(keys) != 4 {
+		t.Fatalf("Cross: %d keys", len(keys))
+	}
+	if got := dedupKeys(append(keys, keys...)); len(got) != 4 {
+		t.Fatalf("dedupKeys: %d keys", len(got))
+	}
+	m := MatrixKeys()
+	seen := map[RunKey]bool{}
+	for _, k := range m {
+		if seen[k] {
+			t.Fatalf("MatrixKeys contains duplicate %s", k)
+		}
+		seen[k] = true
+	}
+	for _, want := range [][]RunKey{Fig2Keys(), Fig8Keys(), Sec45Keys(), AblationKeys(nil)} {
+		for _, k := range want {
+			if !seen[k] {
+				t.Fatalf("MatrixKeys is missing %s", k)
+			}
+		}
+	}
+}

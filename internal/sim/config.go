@@ -93,6 +93,15 @@ type Config struct {
 	Profile bool
 }
 
+// UseTinyMem shrinks the cache hierarchy to the scaled-down test machine
+// (1KB L1 / 4KB L2 / 16KB L3). It is the single definition of the "test"
+// memory system shared by exp.ScaleTest and the CLI -tiny flag.
+func (c *Config) UseTinyMem() {
+	c.Mem.L1Size = 1 << 10
+	c.Mem.L2Size = 4 << 10
+	c.Mem.L3Size = 16 << 10
+}
+
 // DefaultInOrder returns the Table 1 in-order model.
 func DefaultInOrder() Config {
 	return Config{
