@@ -1,11 +1,17 @@
 GO ?= go
 
-.PHONY: check fmt vet test race bench
+.PHONY: check fmt vet test race bench sspcheck
 
-# check is the full gate: formatting, vet, and the test suite under the
-# race detector (the concurrent experiment engine is exercised by
-# internal/exp's determinism and coalescing tests).
-check: fmt vet race
+# check is the full gate: formatting, vet, the test suite under the race
+# detector (the concurrent experiment engine is exercised by internal/exp's
+# determinism and coalescing tests), and the differential/metamorphic fuzz
+# sweep over 32 fixed seeds (internal/check).
+check: fmt vet race sspcheck
+
+# sspcheck runs 32 seeded random programs through all three validation
+# layers; reproduce a reported failure with: go run ./cmd/sspcheck -seed N
+sspcheck:
+	$(GO) run ./cmd/sspcheck -seeds 32
 
 fmt:
 	@out="$$(gofmt -l .)"; \

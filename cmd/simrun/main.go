@@ -6,6 +6,10 @@
 //
 //	simrun -in prog.ssp -model in-order
 //	simrun -bench mcf -model ooo -loads
+//	simrun -bench mcf -check
+//
+// On watchdog expiry the collected statistics are still printed (marked
+// partial) and the command exits non-zero.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"os"
 	"sort"
 
+	"ssp/internal/check"
 	"ssp/internal/cliutil"
 	"ssp/internal/ir"
 	"ssp/internal/sim"
@@ -21,30 +26,54 @@ import (
 	"ssp/internal/workloads"
 )
 
+// options bundles the command-line parameters of one simrun invocation.
+type options struct {
+	In, Bench   string
+	Scale       int
+	Model       string
+	Tiny, Loads bool
+	// Check runs the internal/check validation layers: a differential run
+	// across the interpreter and both cycle models before simulating, and
+	// the conservation invariants on the reported result.
+	Check bool
+	// MaxCycles overrides the watchdog when positive.
+	MaxCycles int64
+}
+
 func main() {
-	var (
-		in    = flag.String("in", "", "input assembly file")
-		bench = flag.String("bench", "", "built-in benchmark name")
-		scale = flag.Int("scale", 0, "benchmark scale (0 = default)")
-		model = flag.String("model", "in-order", "machine model: in-order or ooo")
-		tiny  = flag.Bool("tiny", false, "use the scaled-down test memory system")
-		loads = flag.Bool("loads", false, "print the per-static-load cache profile")
-	)
+	var o options
+	flag.StringVar(&o.In, "in", "", "input assembly file")
+	flag.StringVar(&o.Bench, "bench", "", "built-in benchmark name")
+	flag.IntVar(&o.Scale, "scale", 0, "benchmark scale (0 = default)")
+	flag.StringVar(&o.Model, "model", "in-order", "machine model: in-order or ooo")
+	flag.BoolVar(&o.Tiny, "tiny", false, "use the scaled-down test memory system")
+	flag.BoolVar(&o.Loads, "loads", false, "print the per-static-load cache profile")
+	flag.BoolVar(&o.Check, "check", false, "validate the run with the internal/check layers")
+	flag.Int64Var(&o.MaxCycles, "maxcycles", 0, "watchdog cycle limit (0 = model default)")
 	flag.Parse()
-	if err := run(*in, *bench, *scale, *model, *tiny, *loads); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "simrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, bench string, scale int, model string, tiny, loads bool) error {
-	p, want, err := cliutil.LoadProgram(in, bench, scale)
+func run(o options) error {
+	p, want, err := cliutil.LoadProgram(o.In, o.Bench, o.Scale)
 	if err != nil {
 		return err
 	}
-	cfg, err := cliutil.MachineConfig(model, tiny)
+	cfg, err := cliutil.MachineConfig(o.Model, o.Tiny)
 	if err != nil {
 		return err
+	}
+	if o.MaxCycles > 0 {
+		cfg.MaxCycles = o.MaxCycles
+	}
+	if o.Check {
+		if err := check.Differential(check.Configs(o.Tiny), p, 1_000_000_000); err != nil {
+			return err
+		}
+		fmt.Println("check:        differential + conservation layers passed")
 	}
 	img, err := ir.Link(p)
 	if err != nil {
@@ -55,19 +84,35 @@ func run(in, bench string, scale int, model string, tiny, loads bool) error {
 	if err != nil {
 		return err
 	}
-	if res.TimedOut {
-		return fmt.Errorf("watchdog expired after %d cycles", res.Cycles)
-	}
-	if bench != "" {
+	if o.Bench != "" && !res.TimedOut && !res.MainKilled {
 		// Benchmark programs carry an expected checksum; a mismatch means
 		// the run (or an adaptation applied to it) corrupted architectural
 		// state, exactly what Suite.Run guards against in the experiments.
 		if got := m.Mem.Load(workloads.ResultAddr); got != want {
-			return fmt.Errorf("%s: checksum %d, want %d", bench, got, want)
+			return fmt.Errorf("%s: checksum %d, want %d", o.Bench, got, want)
 		}
 		fmt.Printf("checksum:     %d (verified)\n", want)
 	}
+	printStats(cfg, res, o.Loads)
+	if res.TimedOut {
+		return fmt.Errorf("watchdog expired after %d cycles (statistics above are partial)", res.Cycles)
+	}
+	if res.MainKilled {
+		return fmt.Errorf("main thread executed thread_kill_self (statistics above are partial)")
+	}
+	if o.Check {
+		if err := check.Conservation(res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printStats(cfg sim.Config, res *sim.Result, loads bool) {
 	fmt.Printf("model:        %s\n", cfg.Model)
+	if res.TimedOut {
+		fmt.Printf("TIMED OUT:    statistics below are partial\n")
+	}
 	fmt.Printf("cycles:       %d\n", res.Cycles)
 	fmt.Printf("instructions: %d main, %d speculative\n", res.MainInstrs, res.SpecInstrs)
 	fmt.Printf("ipc:          %.3f\n", res.IPC())
@@ -85,10 +130,12 @@ func run(in, bench string, scale int, model string, tiny, loads bool) error {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("breakdown:\n")
-	for cat := sim.Category(0); cat < sim.NumCategories; cat++ {
-		fmt.Printf("  %-11s %12d (%5.1f%%)\n", cat, res.Breakdown[cat],
-			100*float64(res.Breakdown[cat])/float64(res.Cycles))
+	if res.Cycles > 0 {
+		fmt.Printf("breakdown:\n")
+		for cat := sim.Category(0); cat < sim.NumCategories; cat++ {
+			fmt.Printf("  %-11s %12d (%5.1f%%)\n", cat, res.Breakdown[cat],
+				100*float64(res.Breakdown[cat])/float64(res.Cycles))
+		}
 	}
 	if loads {
 		type row struct {
@@ -112,5 +159,4 @@ func run(in, bench string, scale int, model string, tiny, loads bool) error {
 				r.s.Hits[mem.Mem][0], r.s.Hits[mem.Mem][1])
 		}
 	}
-	return nil
 }

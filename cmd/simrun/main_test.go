@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"ssp/internal/ir"
@@ -10,7 +11,7 @@ import (
 )
 
 func TestSimrunOnBenchAndFile(t *testing.T) {
-	if err := run("", "mcf", 500, "in-order", true, true); err != nil {
+	if err := run(options{Bench: "mcf", Scale: 500, Model: "in-order", Tiny: true, Loads: true}); err != nil {
 		t.Fatal(err)
 	}
 	spec, _ := workloads.ByName("vpr")
@@ -19,16 +20,35 @@ func TestSimrunOnBenchAndFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(ir.Format(p)), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "", 0, "ooo", true, false); err != nil {
+	if err := run(options{In: path, Model: "ooo", Tiny: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestSimrunCheckLayer(t *testing.T) {
+	if err := run(options{Bench: "mcf", Scale: 500, Model: "in-order", Tiny: true, Check: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimrunWatchdog: on watchdog expiry simrun must exit non-zero but
+// still report the partial statistics it collected (the sim.RunProgram
+// contract of a non-nil Result alongside the error, surfaced to the CLI).
+func TestSimrunWatchdog(t *testing.T) {
+	err := run(options{Bench: "mcf", Scale: 500, Model: "in-order", Tiny: true, MaxCycles: 100})
+	if err == nil {
+		t.Fatal("watchdog expiry did not error")
+	}
+	if !strings.Contains(err.Error(), "partial") {
+		t.Fatalf("error does not point at the partial statistics: %v", err)
+	}
+}
+
 func TestSimrunErrors(t *testing.T) {
-	if err := run("", "", 0, "in-order", true, false); err == nil {
+	if err := run(options{Model: "in-order", Tiny: true}); err == nil {
 		t.Fatal("accepted no input")
 	}
-	if err := run("", "mcf", 400, "bogus", true, false); err == nil {
+	if err := run(options{Bench: "mcf", Scale: 400, Model: "bogus", Tiny: true}); err == nil {
 		t.Fatal("accepted bogus model")
 	}
 }

@@ -1,0 +1,261 @@
+// Package check is the differential and invariant validation subsystem for
+// the SSP toolchain. The paper's central safety claim (§2) is that adaptation
+// "does not alter the architectural state of the main thread", and the whole
+// evaluation rests on three engines — the functional interpreter, the
+// in-order model, and the OOO model — agreeing on what a program does while
+// disagreeing only on when. This package asserts exactly that, in three
+// layers:
+//
+//  1. Differential: the same linked image, executed by the interpreter and
+//     both cycle models, yields identical final main-thread registers,
+//     memory checksum, and (for programs without SSP attachments, whose
+//     architectural path is timing-independent) retired main-thread
+//     instruction counts.
+//  2. Metamorphic: an adapted program's main-thread architectural state
+//     equals the original's under both machine models, and its speculative
+//     threads never attempt a store (Result.SpecStores == 0).
+//  3. Conservation: every sim.Result is internally consistent — the cycle
+//     breakdown and the context-utilization histogram each sum to Cycles,
+//     cache hit counts reconcile with access counts at every level, and the
+//     spawn accounting covers every taken chk.c.
+//
+// All layers are fed by workloads.RandomProgram, so any violation reproduces
+// from its seed alone (cmd/sspcheck -seed N).
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ssp/internal/ir"
+	"ssp/internal/profile"
+	"ssp/internal/sim"
+	"ssp/internal/sim/mem"
+	"ssp/internal/ssp"
+	"ssp/internal/workloads"
+)
+
+// maxInterpInstrs bounds functional interpretation of checked programs.
+const maxInterpInstrs = 100_000_000
+
+// Configs returns the machine configurations a check run exercises: the
+// in-order and OOO models, on the scaled-down test memory system when tiny
+// is set (the configuration used by cmd/sspcheck and the test suites).
+func Configs(tiny bool) []sim.Config {
+	io, oo := sim.DefaultInOrder(), sim.DefaultOOO()
+	if tiny {
+		io.UseTinyMem()
+		oo.UseTinyMem()
+	}
+	return []sim.Config{io, oo}
+}
+
+// hasSSP reports whether the program carries SSP attachments (chk.c or
+// spawn); their trigger timing is machine-dependent, so instruction counts
+// and the reserved scratch register may legitimately differ across engines.
+func hasSSP(p *ir.Program) bool {
+	found := false
+	for _, f := range p.Funcs {
+		f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) {
+			if in.Op == ir.OpChk || in.Op == ir.OpSpawn {
+				found = true
+			}
+		})
+	}
+	return found
+}
+
+// run executes one engine over a pre-linked image and applies the
+// conservation layer to its result.
+func run(cfg sim.Config, img *ir.Image) (*sim.Result, error) {
+	res, err := sim.New(cfg, img).Run()
+	if err != nil {
+		return nil, err
+	}
+	if res.TimedOut {
+		return nil, fmt.Errorf("%v: watchdog expired after %d cycles", cfg.Model, res.Cycles)
+	}
+	if res.MainKilled {
+		return nil, fmt.Errorf("%v: main thread executed thread_kill_self", cfg.Model)
+	}
+	if err := Conservation(res); err != nil {
+		return nil, fmt.Errorf("%v: %w", cfg.Model, err)
+	}
+	return res, nil
+}
+
+// compareRegs diffs two main-thread register files, optionally skipping the
+// SSP scratch register (stubs stage the countdown bound through it on the
+// main thread, so it diverges between original and adapted runs by design).
+func compareRegs(a, b [ir.NumRegs]uint64, skipScratch bool, what string) error {
+	for r := 0; r < ir.NumRegs; r++ {
+		if skipScratch && ir.Reg(r) == ssp.ScratchGR {
+			continue
+		}
+		if a[r] != b[r] {
+			return fmt.Errorf("%s: r%d = %#x vs %#x", what, r, a[r], b[r])
+		}
+	}
+	return nil
+}
+
+// Differential runs the linked program under the functional interpreter and
+// every configured cycle model and asserts they agree on final main-thread
+// registers and memory checksum; for SSP-free programs the retired
+// main-thread instruction counts must also be identical (layer 1). Every
+// produced Result additionally passes the conservation layer.
+func Differential(cfgs []sim.Config, p *ir.Program, maxInstrs int64) error {
+	img, err := ir.Link(p)
+	if err != nil {
+		return fmt.Errorf("check: link: %w", err)
+	}
+	ssped := hasSSP(p)
+	ref, err := sim.Interpret(cfgs[0], img, maxInstrs)
+	if err != nil {
+		return fmt.Errorf("check: interpret: %w", err)
+	}
+	refSum := ref.Mem.Checksum()
+	for _, cfg := range cfgs {
+		res, err := run(cfg, img)
+		if err != nil {
+			return fmt.Errorf("check: differential: %w", err)
+		}
+		if err := compareRegs(res.FinalRegs, ref.Regs, ssped, "regs vs interpreter"); err != nil {
+			return fmt.Errorf("check: differential %v: %w", cfg.Model, err)
+		}
+		if res.MemChecksum != refSum {
+			return fmt.Errorf("check: differential %v: memory checksum %#x, interpreter %#x", cfg.Model, res.MemChecksum, refSum)
+		}
+		if !ssped && res.MainInstrs != ref.Instrs {
+			return fmt.Errorf("check: differential %v: retired %d main instrs, interpreter %d", cfg.Model, res.MainInstrs, ref.Instrs)
+		}
+	}
+	return nil
+}
+
+// Metamorphic asserts the SSP invariant (layer 2): under every configured
+// machine model the adapted program finishes with the same main-thread
+// architectural state (registers minus the reserved scratch, memory
+// checksum) as the original, and its speculative threads never attempt a
+// store. Every produced Result also passes the conservation layer.
+func Metamorphic(cfgs []sim.Config, orig, adapted *ir.Program) error {
+	imgO, err := ir.Link(orig)
+	if err != nil {
+		return fmt.Errorf("check: link original: %w", err)
+	}
+	imgA, err := ir.Link(adapted)
+	if err != nil {
+		return fmt.Errorf("check: link adapted: %w", err)
+	}
+	for _, cfg := range cfgs {
+		resO, err := run(cfg, imgO)
+		if err != nil {
+			return fmt.Errorf("check: metamorphic original: %w", err)
+		}
+		resA, err := run(cfg, imgA)
+		if err != nil {
+			return fmt.Errorf("check: metamorphic adapted: %w", err)
+		}
+		if err := compareRegs(resA.FinalRegs, resO.FinalRegs, true, "adapted vs original"); err != nil {
+			return fmt.Errorf("check: metamorphic %v: %w", cfg.Model, err)
+		}
+		if resA.MemChecksum != resO.MemChecksum {
+			return fmt.Errorf("check: metamorphic %v: adapted memory checksum %#x, original %#x", cfg.Model, resA.MemChecksum, resO.MemChecksum)
+		}
+		if resA.SpecStores != 0 {
+			return fmt.Errorf("check: metamorphic %v: speculative threads attempted %d stores", cfg.Model, resA.SpecStores)
+		}
+	}
+	return nil
+}
+
+// Conservation asserts the internal-consistency invariants of one simulation
+// result (layer 3).
+func Conservation(res *sim.Result) error {
+	var bd int64
+	for _, c := range res.Breakdown {
+		bd += c
+	}
+	if bd != res.Cycles {
+		return fmt.Errorf("check: conservation: breakdown sums to %d, cycles %d", bd, res.Cycles)
+	}
+	var hist int64
+	for _, c := range res.SpecActiveHist {
+		hist += c
+	}
+	if hist != res.Cycles {
+		return fmt.Errorf("check: conservation: utilization histogram sums to %d, cycles %d", hist, res.Cycles)
+	}
+	if res.Hier != nil {
+		if err := reconcile(&res.Hier.Totals, "totals"); err != nil {
+			return err
+		}
+		var perLoad uint64
+		for id, s := range res.Hier.ByLoad {
+			if err := reconcile(s, fmt.Sprintf("load %d", id)); err != nil {
+				return err
+			}
+			perLoad += s.Accesses
+		}
+		if perLoad != res.Hier.Totals.Accesses {
+			return fmt.Errorf("check: conservation: per-load accesses sum to %d, totals %d", perLoad, res.Hier.Totals.Accesses)
+		}
+	}
+	// Every taken chk.c redirects the main thread into a straight-line stub
+	// that ends in spawn, so — on runs that finished — each taken check
+	// produced a spawn attempt (started or ignored); chained slices only
+	// add to the left side.
+	if !res.TimedOut && !res.MainKilled && res.Spawns+res.SpawnsIgnored < res.ChkTaken {
+		return fmt.Errorf("check: conservation: %d spawns + %d ignored < %d chk.c taken", res.Spawns, res.SpawnsIgnored, res.ChkTaken)
+	}
+	return nil
+}
+
+// reconcile asserts hits+misses reconcile with accesses for one load stat:
+// every counted access lands in exactly one (level, full/partial) bucket.
+func reconcile(s *mem.LoadStat, what string) error {
+	var hits uint64
+	for lvl := range s.Hits {
+		hits += s.Hits[lvl][0] + s.Hits[lvl][1]
+	}
+	if hits != s.Accesses {
+		return fmt.Errorf("check: conservation: %s: %d bucketed accesses, %d counted", what, hits, s.Accesses)
+	}
+	return nil
+}
+
+// Seed drives all three layers from one seed: generate a random program,
+// differentially validate it, adapt it with a seed-derived option mix
+// (ssp.Adapt runs Validate and VerifyAttachments internally), then validate
+// the adapted binary differentially and metamorphically. The same seed
+// always reproduces the same programs and verdict.
+func Seed(seed int64, cfgs []sim.Config) error {
+	p := workloads.RandomProgram(seed)
+	if err := Differential(cfgs, p, maxInterpInstrs); err != nil {
+		return fmt.Errorf("seed %d: original: %w", seed, err)
+	}
+	prof, err := profile.Collect(p, cfgs[0])
+	if err != nil {
+		return fmt.Errorf("seed %d: profile: %w", seed, err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	opt := ssp.DefaultOptions()
+	opt.Chaining = r.Intn(4) != 0
+	opt.LoopRotation = r.Intn(4) != 0
+	opt.CondPrediction = r.Intn(4) != 0
+	opt.SpeculativeSlicing = r.Intn(4) != 0
+	if r.Intn(3) == 0 {
+		opt.ChainUnroll = 2 + r.Intn(2)
+	}
+	adapted, _, err := ssp.Adapt(p, prof, opt, fmt.Sprintf("seed%d", seed))
+	if err != nil {
+		return fmt.Errorf("seed %d: adapt: %w", seed, err)
+	}
+	if err := Differential(cfgs, adapted, maxInterpInstrs); err != nil {
+		return fmt.Errorf("seed %d: adapted: %w", seed, err)
+	}
+	if err := Metamorphic(cfgs, p, adapted); err != nil {
+		return fmt.Errorf("seed %d: %w", seed, err)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"ssp/internal/ir"
+	"ssp/internal/profile"
+	"ssp/internal/sim"
+	"ssp/internal/ssp"
+	"ssp/internal/workloads"
+)
+
+func adaptMcf(t *testing.T) (*ir.Program, *ir.Program) {
+	t.Helper()
+	spec, err := workloads.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := spec.Build(spec.TestScale)
+	cfgs := Configs(true)
+	prof, err := profile.Collect(orig, cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapted, _, err := ssp.Adapt(orig, prof, ssp.DefaultOptions(), "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return orig, adapted
+}
+
+// TestSeedsClean: a sample of seeded random programs passes all three
+// layers (cmd/sspcheck covers the full 32-seed sweep).
+func TestSeedsClean(t *testing.T) {
+	n := int64(8)
+	if testing.Short() {
+		n = 2
+	}
+	cfgs := Configs(true)
+	for seed := int64(0); seed < n; seed++ {
+		if err := Seed(seed, cfgs); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWorkloadMetamorphic: the named benchmark adaptation satisfies the §2
+// invariant under both machine models.
+func TestWorkloadMetamorphic(t *testing.T) {
+	orig, adapted := adaptMcf(t)
+	if err := Metamorphic(Configs(true), orig, adapted); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBrokenAdaptationCaught: a store injected into a p-slice — the exact
+// violation the paper's safety argument forbids — is caught both statically
+// by ssp.VerifyAttachments and dynamically by the metamorphic layer (the
+// hardware suppresses the store, so it surfaces as SpecStores != 0 rather
+// than as corrupted state).
+func TestBrokenAdaptationCaught(t *testing.T) {
+	orig, adapted := adaptMcf(t)
+	f := adapted.FuncByName("main")
+	b := f.BlockByLabel("ssp_slice_0")
+	if b == nil {
+		t.Fatal("adapted mcf has no ssp_slice_0")
+	}
+	st := &ir.Instr{Op: ir.OpSt, Ra: 21, Rb: 21}
+	adapted.Assign(st)
+	b.InsertAt(len(b.Instrs)-1, st)
+	f.Renumber()
+
+	if err := ssp.VerifyAttachments(adapted); err == nil {
+		t.Error("VerifyAttachments accepted a slice containing a store")
+	}
+	err := Metamorphic(Configs(true), orig, adapted)
+	if err == nil {
+		t.Fatal("metamorphic layer accepted a slice containing a store")
+	}
+	if !strings.Contains(err.Error(), "stores") {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+// TestConservationDetectsTampering: each invariant of layer 3 actually
+// fires when its quantity is perturbed.
+func TestConservationDetectsTampering(t *testing.T) {
+	spec, err := workloads.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := spec.Build(spec.TestScale)
+	fresh := func() *sim.Result {
+		res, err := sim.RunProgram(Configs(true)[0], p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if err := Conservation(fresh()); err != nil {
+		t.Fatalf("clean result: %v", err)
+	}
+	tamper := []struct {
+		name string
+		mut  func(*sim.Result)
+	}{
+		{"breakdown", func(r *sim.Result) { r.Breakdown[0]++ }},
+		{"histogram", func(r *sim.Result) { r.SpecActiveHist[0]-- }},
+		{"cache totals", func(r *sim.Result) { r.Hier.Totals.Accesses++ }},
+		{"per-load", func(r *sim.Result) {
+			for _, s := range r.Hier.ByLoad {
+				s.Hits[0][0]++
+				break
+			}
+		}},
+		{"spawn accounting", func(r *sim.Result) { r.ChkTaken = r.Spawns + r.SpawnsIgnored + 1 }},
+	}
+	for _, tc := range tamper {
+		r := fresh()
+		tc.mut(r)
+		if err := Conservation(r); err == nil {
+			t.Errorf("%s: tampered result passed conservation", tc.name)
+		}
+	}
+}
+
+// TestDifferentialInstrCounts: for an SSP-free program the three engines
+// must retire exactly the same main-thread instruction stream.
+func TestDifferentialInstrCounts(t *testing.T) {
+	if err := Differential(Configs(true), workloads.RandomProgram(42), maxInterpInstrs); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"ssp/internal/check"
 	"ssp/internal/handtuned"
 	"ssp/internal/ir"
 	"ssp/internal/profile"
@@ -307,6 +308,11 @@ func (s *Suite) simulate(key RunKey) (*sim.Result, error) {
 	}
 	if got := m.Mem.Load(workloads.ResultAddr); got != ps.want {
 		return nil, fmt.Errorf("%s: checksum %d, want %d", key, got, ps.want)
+	}
+	// Every result that feeds a figure must be internally consistent; a
+	// violation here means a simulator accounting bug, not a bad variant.
+	if err := check.Conservation(res); err != nil {
+		return nil, fmt.Errorf("%s: %w", key, err)
 	}
 	if s.Progress != nil {
 		s.Progress(key, res, time.Since(start))

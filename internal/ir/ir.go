@@ -56,6 +56,12 @@ type BR uint8
 // NumBRs is the number of branch registers per thread context.
 const NumBRs = 8
 
+// LIBSlots is the number of live-in buffer slots per thread context (the
+// modelled RSE backing-store window, §2.1). Liw/Lir slot immediates wrap
+// modulo this size in hardware; well-formed SSP code stays below it, which
+// ssp.VerifyAttachments enforces.
+const LIBSlots = 16
+
 func (b BR) String() string { return fmt.Sprintf("b%d", uint8(b)) }
 
 // Op enumerates the instruction opcodes of the IR.

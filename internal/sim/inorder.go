@@ -199,6 +199,13 @@ func (m *Machine) issueInOrder(t *Thread, intU, memU, brU, fpU *int) (issued, co
 	}
 	if ef.kill {
 		m.killThread(t)
+		if !t.spec {
+			// thread_kill_self on the non-speculative thread: without this
+			// the loop would spin until the watchdog, since nothing else
+			// sets mainDone. Flag it so RunProgram can surface the error.
+			m.res.MainKilled = true
+			m.mainDone = true
+		}
 		return true, false, 0, false
 	}
 	if ef.halt {

@@ -21,9 +21,10 @@ type InterpResult struct {
 // tested against, and doubles as a fast sanity check that an SSP-enhanced
 // binary leaves the main thread's architectural behaviour unchanged (§2:
 // speculative execution "does not alter the architecture state of the main
-// thread").
-func Interpret(img *ir.Image, maxInstrs int64) (*InterpResult, error) {
-	m := New(DefaultInOrder(), img)
+// thread"). cfg selects the memory sizing and context count under test so the
+// interpretation matches the configuration the cycle models run with.
+func Interpret(cfg Config, img *ir.Image, maxInstrs int64) (*InterpResult, error) {
+	m := New(cfg, img)
 	// Occupy all non-main contexts so chk.c/spawn never fire.
 	for _, t := range m.threads[1:] {
 		t.active = true
@@ -58,6 +59,9 @@ func RunProgram(cfg Config, p *ir.Program) (*Result, error) {
 	}
 	if res.TimedOut {
 		return res, fmt.Errorf("sim: watchdog expired after %d cycles", res.Cycles)
+	}
+	if res.MainKilled {
+		return res, fmt.Errorf("sim: main thread executed thread_kill_self after %d cycles", res.Cycles)
 	}
 	return res, nil
 }

@@ -23,7 +23,7 @@ const (
 // libSlots is the number of live-in buffer slots per context (the modelled
 // RSE backing-store window). The paper's slices need ~3-5 live-ins
 // (Table 2).
-const libSlots = 16
+const libSlots = ir.LIBSlots
 
 // Thread is one hardware thread context.
 type Thread struct {
@@ -142,12 +142,18 @@ func New(cfg Config, img *ir.Image) *Machine {
 		m.res.PCCount = make([]uint64, len(img.Code))
 		m.res.CallEdges = make(map[int]map[int]uint64)
 	}
-	m.res.SpecActiveHist = make([]int64, cfg.Contexts)
+	// Buckets 0..Contexts: normally at most Contexts-1 speculative threads
+	// exist (the main thread holds context 0), but a freed main context can
+	// be rebound speculatively, so the histogram covers every context being
+	// speculative. Sizing it Contexts (and guarding the index) silently
+	// dropped that last bucket, breaking sum(SpecActiveHist) == Cycles.
+	m.res.SpecActiveHist = make([]int64, cfg.Contexts+1)
 	return m
 }
 
 // recordUtilization tallies the number of active speculative contexts this
-// cycle.
+// cycle. Every cycle lands in exactly one bucket, so the histogram always
+// sums to Cycles (asserted by check.Conservation).
 func (m *Machine) recordUtilization() {
 	n := 0
 	for _, t := range m.threads {
@@ -155,9 +161,7 @@ func (m *Machine) recordUtilization() {
 			n++
 		}
 	}
-	if n < len(m.res.SpecActiveHist) {
-		m.res.SpecActiveHist[n]++
-	}
+	m.res.SpecActiveHist[n]++
 }
 
 func classify(cfg Config, in *ir.Instr) (fuClass, int64) {
@@ -488,6 +492,8 @@ func (m *Machine) Run() (*Result, error) {
 	}
 	m.res.Cycles = m.now
 	m.res.Hier = m.Hier
+	m.res.FinalRegs = m.main().regs
+	m.res.MemChecksum = m.Mem.Checksum()
 	r := m.res
 	return &r, nil
 }

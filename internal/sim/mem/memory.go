@@ -6,6 +6,8 @@
 // partial hits — the "Partial" categories of Figure 9.
 package mem
 
+import "sort"
+
 // pageBits selects a 4KB page (512 words) for the sparse memory.
 const pageBits = 9
 
@@ -53,3 +55,40 @@ func (m *Memory) Install(img map[uint64]uint64) {
 
 // Footprint returns the number of resident pages (for tests).
 func (m *Memory) Footprint() int { return len(m.pages) }
+
+// Checksum digests the memory contents as FNV-1a over (address, value) pairs
+// of every non-zero word, visited in ascending page order. Zero words never
+// contribute, so a memory with an all-zero resident page checksums identically
+// to one where the page was never touched — two runs agree iff their
+// observable contents agree, regardless of allocation history.
+func (m *Memory) Checksum() uint64 {
+	idxs := make([]uint64, 0, len(m.pages))
+	for idx := range m.pages {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, idx := range idxs {
+		p := m.pages[idx]
+		for i, v := range p {
+			if v == 0 {
+				continue
+			}
+			addr := (idx<<pageBits | uint64(i)) << 3
+			word(addr)
+			word(v)
+		}
+	}
+	return h
+}

@@ -285,6 +285,13 @@ func (m *Machine) dispatchOOO(t *Thread, slots int) {
 			t.frontStallUntil = m.now + m.Cfg.SpawnFlushPenalty
 		}
 		if ef.kill || ef.halt {
+			if ef.kill && !t.spec {
+				// thread_kill_self on the non-speculative thread. Drain and
+				// end the run like a halt (so the in-order and OOO models
+				// agree on when it stops), but flag the violation so
+				// RunProgram reports it instead of silently succeeding.
+				m.res.MainKilled = true
+			}
 			w.haltAfterDrain = true
 			return
 		}

@@ -61,7 +61,7 @@ func TestInterpretArith(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Interpret(img, 1000)
+	r, err := Interpret(testInOrder(), img, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestEnginesMatchInterpreter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := Interpret(img, 1000)
+	ref, err := Interpret(testInOrder(), img, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -498,7 +498,7 @@ func TestQuickDifferentialEngines(t *testing.T) {
 			t.Log(err)
 			return false
 		}
-		ref, err := Interpret(img, 10_000)
+		ref, err := Interpret(testInOrder(), img, 10_000)
 		if err != nil {
 			t.Log(err)
 			return false
@@ -600,7 +600,7 @@ func TestFPSemanticsAcrossEngines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := Interpret(img, 1_000_000)
+	ref, err := Interpret(testInOrder(), img, 1_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -885,5 +885,52 @@ func TestContextCountScaling(t *testing.T) {
 	}
 	if got := m.Mem.Load(0x2000); got != 1500*1499/2 {
 		t.Fatalf("8-context checksum = %d", got)
+	}
+}
+
+// TestRunProgramWatchdogContract: on watchdog expiry RunProgram must return
+// BOTH a non-nil partial Result and an error, so callers (cmd/simrun) can
+// report the statistics collected so far alongside the failure.
+func TestRunProgramWatchdogContract(t *testing.T) {
+	for _, base := range []Config{testInOrder(), testOOO()} {
+		cfg := base
+		cfg.MaxCycles = 50
+		res, err := RunProgram(cfg, chaseProgram(64, false))
+		if err == nil {
+			t.Fatalf("%v: no error on watchdog expiry", cfg.Model)
+		}
+		if res == nil {
+			t.Fatalf("%v: nil result on watchdog expiry", cfg.Model)
+		}
+		if !res.TimedOut {
+			t.Fatalf("%v: TimedOut not set", cfg.Model)
+		}
+		if res.Cycles != 50 {
+			t.Fatalf("%v: partial result reports %d cycles, want 50", cfg.Model, res.Cycles)
+		}
+	}
+}
+
+// TestRunProgramMainKillContract: thread_kill_self on the main thread ends
+// the run with MainKilled set and an error (instead of spinning until the
+// watchdog on the in-order model, or silently halting on the OOO model —
+// the cross-engine divergence the differential layer flushed out).
+func TestRunProgramMainKillContract(t *testing.T) {
+	p := ir.NewProgram("main")
+	fb := ir.NewFunc(p, "main")
+	e := fb.Block("entry")
+	e.MovI(16, 1)
+	e.Kill()
+	for _, cfg := range []Config{testInOrder(), testOOO()} {
+		res, err := RunProgram(cfg, p)
+		if err == nil {
+			t.Fatalf("%v: no error on main-thread kill", cfg.Model)
+		}
+		if res == nil || !res.MainKilled {
+			t.Fatalf("%v: MainKilled not reported", cfg.Model)
+		}
+		if res.TimedOut {
+			t.Fatalf("%v: run spun until the watchdog", cfg.Model)
+		}
 	}
 }

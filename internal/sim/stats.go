@@ -1,6 +1,9 @@
 package sim
 
-import "ssp/internal/sim/mem"
+import (
+	"ssp/internal/ir"
+	"ssp/internal/sim/mem"
+)
 
 // Category classifies each main-thread cycle for the Figure 10 breakdown.
 type Category uint8
@@ -58,6 +61,18 @@ type Result struct {
 	Mispredicts   int64
 	SpecStores    int64 // suppressed store attempts by speculative threads
 	TimedOut      bool
+	// MainKilled reports that the main thread executed thread_kill_self,
+	// which only speculative threads may do (§2.1); the run ends but its
+	// architectural state is unreliable. RunProgram turns this into an
+	// error, and check.Differential treats it as a violation.
+	MainKilled bool
+
+	// FinalRegs snapshots the main thread's register file at the end of the
+	// run and MemChecksum digests memory contents (mem.Memory.Checksum);
+	// together they are the architectural state compared by the
+	// cross-engine and metamorphic layers of internal/check.
+	FinalRegs   [ir.NumRegs]uint64
+	MemChecksum uint64
 
 	// Hier exposes the memory-system statistics of the run (per-load
 	// level/partial counts for Figure 9, miss cycles for profiling).

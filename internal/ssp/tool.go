@@ -20,6 +20,12 @@ const (
 	scratchPR2 ir.PR  = 62
 )
 
+// ScratchGR is the general register the tool reserves for SSP-generated
+// code. Stubs stage the countdown bound through it on the main thread, so
+// differential and metamorphic comparisons (internal/check) must exclude it
+// from the original-vs-adapted register comparison.
+const ScratchGR = scratchGR
+
 // analysis bundles the per-function structures the tool consumes.
 type analysis struct {
 	fr *cfg.FuncRegions

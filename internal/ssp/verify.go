@@ -17,8 +17,13 @@ import (
 //   - slice blocks contain no stores, calls, returns, or halts — the
 //     speculative thread can never alter main-thread architectural state
 //     (§2) — and every slice path ends in kill or a backedge;
-//   - the live-in slots a slice reads (lir) are a subset of the slots its
-//     stub writes (liw), so no thread reads an uninitialized live-in.
+//   - the live-in slots a slice reads (lir) — in any block of its region, at
+//     any position — are a subset of the slots every spawner of that slice
+//     writes (liw) before the spawn, so no thread reads an uninitialized
+//     live-in. Spawners are stubs and, under chaining, the slices themselves.
+//   - every liw/lir slot immediate is within the live-in buffer
+//     (ir.LIBSlots); the hardware wraps out-of-range slots modulo the buffer
+//     size, silently aliasing two live-ins.
 //
 // The code generator runs it after every adaptation; it is exported so
 // hand-adapted binaries (and tests) can be checked against the same rules.
@@ -57,9 +62,35 @@ func VerifyAttachments(p *ir.Program) error {
 		if err != nil {
 			return err
 		}
-		// Stub shape and liw/lir slot consistency.
+		// Live-in buffer slot range: out-of-range immediates wrap modulo
+		// the buffer in hardware, silently aliasing two live-ins.
+		f.Instrs(func(b *ir.Block, _ int, in *ir.Instr) {
+			if err != nil || (in.Op != ir.OpLiw && in.Op != ir.OpLir) {
+				return
+			}
+			if in.Imm < 0 || in.Imm >= ir.LIBSlots {
+				err = fmt.Errorf("ssp: %s/%s: %v slot %d outside live-in buffer [0,%d)", f.Name, b.Label, in.Op, in.Imm, ir.LIBSlots)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		// lir demand per slice: every slot read anywhere in the slice's
+		// region — continuation blocks and post-prologue reads included.
+		lirReads := map[string]map[int64]bool{}
+		for label := range slices {
+			reads := map[int64]bool{}
+			for _, sb := range sliceRegionBlocks(f, label) {
+				for _, in := range sb.Instrs {
+					if in.Op == ir.OpLir {
+						reads[in.Imm] = true
+					}
+				}
+			}
+			lirReads[label] = reads
+		}
+		// Stub shape.
 		for label, stub := range stubs {
-			slots := map[int64]bool{}
 			n := len(stub.Instrs)
 			if n == 0 || stub.Instrs[n-1].Op != ir.OpSpawn {
 				return fmt.Errorf("ssp: %s/%s: stub does not end in spawn", f.Name, label)
@@ -67,27 +98,44 @@ func VerifyAttachments(p *ir.Program) error {
 			for _, in := range stub.Instrs[:n-1] {
 				switch in.Op {
 				case ir.OpLiw:
-					slots[in.Imm] = true
 				case ir.OpMovI, ir.OpMov:
 					// countdown staging through the reserved scratch
 				default:
 					return fmt.Errorf("ssp: %s/%s: unexpected %v in stub", f.Name, label, in)
 				}
 			}
-			spawnTgt := stub.Instrs[n-1].Target
-			body := sliceBody(f, slices, spawnTgt)
+		}
+		// Every spawn site — a stub's terminal spawn or a chaining slice's
+		// handoff spawn — must write (liw, earlier in the same block) every
+		// slot its target slice reads.
+		f.Instrs(func(b *ir.Block, i int, in *ir.Instr) {
+			if err != nil || in.Op != ir.OpSpawn {
+				return
+			}
+			if _, isStub := stubs[b.Label]; !isStub && !inSliceRegion(slices, b.Label) {
+				err = fmt.Errorf("ssp: %s/%s: spawn outside stub or slice region", f.Name, b.Label)
+				return
+			}
+			body := sliceBody(f, slices, in.Target)
 			if body == nil {
-				return fmt.Errorf("ssp: %s/%s: spawn target %q is not a slice block", f.Name, label, spawnTgt)
+				err = fmt.Errorf("ssp: %s/%s: spawn target %q is not a slice block", f.Name, b.Label, in.Target)
+				return
 			}
-			for _, in := range body.Instrs {
-				if in.Op == ir.OpLir && !slots[in.Imm] {
-					return fmt.Errorf("ssp: %s/%s: slice reads live-in slot %d the stub never writes", f.Name, spawnTgt, in.Imm)
+			written := map[int64]bool{}
+			for _, prev := range b.Instrs[:i] {
+				if prev.Op == ir.OpLiw {
+					written[prev.Imm] = true
 				}
-				if in.Op == ir.OpLir {
-					continue
-				}
-				break // lir prologue over
 			}
+			for slot := range lirReads[in.Target] {
+				if !written[slot] {
+					err = fmt.Errorf("ssp: %s/%s: slice %s reads live-in slot %d its spawner never writes", f.Name, b.Label, in.Target, slot)
+					return
+				}
+			}
+		})
+		if err != nil {
+			return err
 		}
 		// Slice block hygiene.
 		for label, b := range slices {
@@ -121,6 +169,17 @@ func sliceBody(f *ir.Func, slices map[string]*ir.Block, target string) *ir.Block
 	}
 	// Cross-function targets ("fn.label") are not generated by the tool.
 	return nil
+}
+
+// inSliceRegion reports whether the labeled block belongs to any root
+// slice's region.
+func inSliceRegion(slices map[string]*ir.Block, label string) bool {
+	for root := range slices {
+		if label == root || strings.HasPrefix(label, root+"_") {
+			return true
+		}
+	}
+	return false
 }
 
 // sliceRegionBlocks returns the attachment blocks belonging to one slice:

@@ -82,6 +82,35 @@ func TestVerifyRejectsCorruptions(t *testing.T) {
 			}
 		}
 	})
+	// Regression: a lir after the first non-lir instruction used to bypass
+	// the subset check entirely (the scan broke at the end of the
+	// prologue).
+	corrupt(t, "post-prologue lir reads unwritten slot", func(p *ir.Program) {
+		f := p.FuncByName("main")
+		b := f.BlockByLabel("ssp_slice_0")
+		lir := &ir.Instr{Op: ir.OpLir, Rd: 30, Imm: 13}
+		p.Assign(lir)
+		b.InsertAt(len(b.Instrs)-1, lir)
+	})
+	// Regression: continuation blocks (ssp_slice_N_*) were never scanned,
+	// so a lir there could read a slot no spawner writes.
+	corrupt(t, "continuation-block lir reads unwritten slot", func(p *ir.Program) {
+		f := p.FuncByName("main")
+		cont := f.AddBlock("ssp_slice_0_cont")
+		lir := &ir.Instr{Op: ir.OpLir, Rd: 30, Imm: 13}
+		p.Assign(lir)
+		cont.Append(lir)
+	})
+	corrupt(t, "liw slot outside the live-in buffer", func(p *ir.Program) {
+		f := p.FuncByName("main")
+		b := f.BlockByLabel("ssp_stub_0")
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpLiw {
+				in.Imm = int64(ir.LIBSlots) // hardware would wrap to slot 0
+				break
+			}
+		}
+	})
 	corrupt(t, "chk to non-stub", func(p *ir.Program) {
 		f := p.FuncByName("main")
 		f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) {

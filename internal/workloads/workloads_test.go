@@ -58,7 +58,7 @@ func TestChecksums(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			r, err := sim.Interpret(img, 100_000_000)
+			r, err := sim.Interpret(tinyConfig(), img, 100_000_000)
 			if err != nil {
 				t.Fatal(err)
 			}
