@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet test race bench sspcheck
+.PHONY: check fmt vet test race bench bench-smoke sspcheck predecode-sweep
 
 # check is the full gate: formatting, vet, the test suite under the race
 # detector (the concurrent experiment engine is exercised by internal/exp's
@@ -12,6 +12,11 @@ check: fmt vet race sspcheck
 # layers; reproduce a reported failure with: go run ./cmd/sspcheck -seed N
 sspcheck:
 	$(GO) run ./cmd/sspcheck -seeds 32
+
+# predecode-sweep is the regression gate for the decode-once execution core:
+# fresh vs shared vs stats-off machines must agree bit-for-bit per seed.
+predecode-sweep:
+	$(GO) run ./cmd/sspcheck -seeds 32 -predecode
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -28,3 +33,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-smoke runs each internal/sim microbenchmark for a single iteration —
+# just enough to catch an execution-core change that breaks or pathologically
+# slows the benchmarks, without CI-grade noise-sensitive timing.
+bench-smoke:
+	$(GO) test ./internal/sim -run '^$$' -bench . -benchtime 1x

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"ssp/internal/cliutil"
 	"ssp/internal/exp"
 	"ssp/internal/sim"
 )
@@ -36,6 +37,8 @@ func main() {
 		only    = flag.String("only", "", "comma-separated subset: "+strings.Join(exhibits, ","))
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel simulations (1 = serial)")
 		quiet   = flag.Bool("quiet", false, "suppress the per-cell progress lines on stderr")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	)
 	flag.Parse()
 	sc, err := parseScale(*scale)
@@ -53,6 +56,12 @@ func main() {
 		os.Exit(2)
 	}
 	want := func(k string) bool { return len(wanted) == 0 || wanted[k] }
+	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	s := exp.NewSuite(sc)
 	s.Workers = *workers
@@ -61,6 +70,7 @@ func main() {
 	}
 	if err := run(s, want); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		stopProf()
 		os.Exit(1)
 	}
 }

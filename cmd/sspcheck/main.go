@@ -10,6 +10,7 @@
 //	sspcheck -seeds 32         # seeds 0..31
 //	sspcheck -seed 17 -v       # reproduce one failure
 //	sspcheck -seeds 64 -full   # Table 1 memory system instead of tiny
+//	sspcheck -seeds 16 -predecode  # predecode-equivalence sweep instead
 //
 // A violation prints its seed and exits non-zero; rerunning with -seed N
 // reproduces it exactly.
@@ -21,18 +22,34 @@ import (
 	"os"
 
 	"ssp/internal/check"
+	"ssp/internal/cliutil"
 )
 
 func main() {
 	var (
-		seeds   = flag.Int64("seeds", 32, "number of seeds to sweep, starting at -start")
-		start   = flag.Int64("start", 0, "first seed of the sweep")
-		seed    = flag.Int64("seed", -1, "check a single seed (overrides -seeds)")
-		full    = flag.Bool("full", false, "use the full Table 1 memory system instead of the test sizing")
-		verbose = flag.Bool("v", false, "print each seed as it passes")
+		seeds     = flag.Int64("seeds", 32, "number of seeds to sweep, starting at -start")
+		start     = flag.Int64("start", 0, "first seed of the sweep")
+		seed      = flag.Int64("seed", -1, "check a single seed (overrides -seeds)")
+		full      = flag.Bool("full", false, "use the full Table 1 memory system instead of the test sizing")
+		predecode = flag.Bool("predecode", false, "run the predecode-equivalence layer per seed instead of the differential/metamorphic layers")
+		verbose   = flag.Bool("v", false, "print each seed as it passes")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile of the sweep to this file")
 	)
 	flag.Parse()
+	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sspcheck:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 	cfgs := check.Configs(!*full)
+	checkSeed := check.Seed
+	layers := "all three layers"
+	if *predecode {
+		checkSeed = check.PredecodeSeed
+		layers = "the predecode-equivalence layer"
+	}
 
 	lo, hi := *start, *start+*seeds
 	if *seed >= 0 {
@@ -40,7 +57,7 @@ func main() {
 	}
 	failures := 0
 	for s := lo; s < hi; s++ {
-		if err := check.Seed(s, cfgs); err != nil {
+		if err := checkSeed(s, cfgs); err != nil {
 			failures++
 			fmt.Fprintln(os.Stderr, "sspcheck: FAIL", err)
 			continue
@@ -52,7 +69,8 @@ func main() {
 	n := hi - lo
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "sspcheck: %d/%d seeds failed\n", failures, n)
+		stopProf()
 		os.Exit(1)
 	}
-	fmt.Printf("sspcheck: %d seeds passed all three layers\n", n)
+	fmt.Printf("sspcheck: %d seeds passed %s\n", n, layers)
 }

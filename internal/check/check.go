@@ -30,6 +30,7 @@ import (
 	"ssp/internal/ir"
 	"ssp/internal/profile"
 	"ssp/internal/sim"
+	"ssp/internal/sim/decode"
 	"ssp/internal/sim/mem"
 	"ssp/internal/ssp"
 	"ssp/internal/workloads"
@@ -65,10 +66,11 @@ func hasSSP(p *ir.Program) bool {
 	return found
 }
 
-// run executes one engine over a pre-linked image and applies the
-// conservation layer to its result.
-func run(cfg sim.Config, img *ir.Image) (*sim.Result, error) {
-	res, err := sim.New(cfg, img).Run()
+// run executes one engine over a predecoded image and applies the
+// conservation layer to its result. Callers predecode once and share the
+// program across every engine and configuration of a check.
+func run(cfg sim.Config, dp *decode.Program) (*sim.Result, error) {
+	res, err := sim.NewPredecoded(cfg, dp).Run()
 	if err != nil {
 		return nil, err
 	}
@@ -109,14 +111,15 @@ func Differential(cfgs []sim.Config, p *ir.Program, maxInstrs int64) error {
 	if err != nil {
 		return fmt.Errorf("check: link: %w", err)
 	}
+	dp := sim.Predecode(img)
 	ssped := hasSSP(p)
-	ref, err := sim.Interpret(cfgs[0], img, maxInstrs)
+	ref, err := sim.InterpretPredecoded(cfgs[0], dp, maxInstrs)
 	if err != nil {
 		return fmt.Errorf("check: interpret: %w", err)
 	}
 	refSum := ref.Mem.Checksum()
 	for _, cfg := range cfgs {
-		res, err := run(cfg, img)
+		res, err := run(cfg, dp)
 		if err != nil {
 			return fmt.Errorf("check: differential: %w", err)
 		}
@@ -147,12 +150,13 @@ func Metamorphic(cfgs []sim.Config, orig, adapted *ir.Program) error {
 	if err != nil {
 		return fmt.Errorf("check: link adapted: %w", err)
 	}
+	dpO, dpA := sim.Predecode(imgO), sim.Predecode(imgA)
 	for _, cfg := range cfgs {
-		resO, err := run(cfg, imgO)
+		resO, err := run(cfg, dpO)
 		if err != nil {
 			return fmt.Errorf("check: metamorphic original: %w", err)
 		}
-		resA, err := run(cfg, imgA)
+		resA, err := run(cfg, dpA)
 		if err != nil {
 			return fmt.Errorf("check: metamorphic adapted: %w", err)
 		}
@@ -220,6 +224,80 @@ func reconcile(s *mem.LoadStat, what string) error {
 	}
 	if hits != s.Accesses {
 		return fmt.Errorf("check: conservation: %s: %d bucketed accesses, %d counted", what, hits, s.Accesses)
+	}
+	return nil
+}
+
+// PredecodeEquivalence asserts that the predecode layer is semantically
+// inert (the regression gate for the decode-once refactor): for every
+// configured machine model, an engine over a privately predecoded image, two
+// consecutive engines over one shared predecoded image, and an engine with
+// per-cycle stats instrumentation detached all agree on the architectural
+// triple — final main-thread registers, memory checksum, and retired
+// main-thread instruction count. The repeated shared run would expose any
+// engine mutating the supposedly immutable decode; the stats-off run would
+// expose timing or architectural state leaking through the hook layer.
+func PredecodeEquivalence(cfgs []sim.Config, p *ir.Program) error {
+	img, err := ir.Link(p)
+	if err != nil {
+		return fmt.Errorf("check: link: %w", err)
+	}
+	shared := sim.Predecode(img)
+	for _, cfg := range cfgs {
+		fresh, err := run(cfg, sim.Predecode(img))
+		if err != nil {
+			return fmt.Errorf("check: predecode %v: fresh: %w", cfg.Model, err)
+		}
+		first, err := run(cfg, shared)
+		if err != nil {
+			return fmt.Errorf("check: predecode %v: shared: %w", cfg.Model, err)
+		}
+		second, err := run(cfg, shared)
+		if err != nil {
+			return fmt.Errorf("check: predecode %v: shared rerun: %w", cfg.Model, err)
+		}
+		// Stats-off run: Breakdown/SpecActiveHist are deliberately empty, so
+		// it bypasses run()'s conservation layer.
+		fast := sim.NewPredecoded(cfg, shared)
+		fast.DisableStats()
+		quick, err := fast.Run()
+		if err != nil {
+			return fmt.Errorf("check: predecode %v: stats-off: %w", cfg.Model, err)
+		}
+		if quick.TimedOut {
+			return fmt.Errorf("check: predecode %v: stats-off: watchdog expired", cfg.Model)
+		}
+		for _, alt := range []struct {
+			what string
+			res  *sim.Result
+		}{
+			{"shared decode vs fresh decode", first},
+			{"shared decode rerun vs fresh decode", second},
+			{"stats-off vs fresh decode", quick},
+		} {
+			if err := compareRegs(alt.res.FinalRegs, fresh.FinalRegs, false, alt.what); err != nil {
+				return fmt.Errorf("check: predecode %v: %w", cfg.Model, err)
+			}
+			if alt.res.MemChecksum != fresh.MemChecksum {
+				return fmt.Errorf("check: predecode %v: %s: memory checksum %#x vs %#x", cfg.Model, alt.what, alt.res.MemChecksum, fresh.MemChecksum)
+			}
+			if alt.res.MainInstrs != fresh.MainInstrs {
+				return fmt.Errorf("check: predecode %v: %s: retired %d main instrs vs %d", cfg.Model, alt.what, alt.res.MainInstrs, fresh.MainInstrs)
+			}
+			if alt.res.Cycles != fresh.Cycles {
+				return fmt.Errorf("check: predecode %v: %s: %d cycles vs %d", cfg.Model, alt.what, alt.res.Cycles, fresh.Cycles)
+			}
+		}
+	}
+	return nil
+}
+
+// PredecodeSeed runs the predecode-equivalence gate on one random program;
+// sweeping it over N seeds is the regression net for the table-dispatch
+// execution core (cmd/sspcheck -predecode).
+func PredecodeSeed(seed int64, cfgs []sim.Config) error {
+	if err := PredecodeEquivalence(cfgs, workloads.RandomProgram(seed)); err != nil {
+		return fmt.Errorf("seed %d: %w", seed, err)
 	}
 	return nil
 }

@@ -132,3 +132,30 @@ func TestDifferentialInstrCounts(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPredecodeEquivalenceSweep: sharing one predecoded image across engines,
+// reruns, and stats-off machines is semantically invisible, over a sweep of
+// seeded random programs (the regression gate for the table-dispatch
+// execution core; cmd/sspcheck -predecode widens the sweep).
+func TestPredecodeEquivalenceSweep(t *testing.T) {
+	n := int64(6)
+	if testing.Short() {
+		n = 2
+	}
+	cfgs := Configs(true)
+	for seed := int64(0); seed < n; seed++ {
+		if err := PredecodeSeed(seed, cfgs); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPredecodeEquivalenceAdapted: the gate also holds for an SSP-adapted
+// binary, whose chk.c/spawn handlers exercise the context-management paths a
+// random SSP-free program never reaches.
+func TestPredecodeEquivalenceAdapted(t *testing.T) {
+	_, adapted := adaptMcf(t)
+	if err := PredecodeEquivalence(Configs(true), adapted); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,8 @@ package cliutil
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ssp/internal/ir"
 	"ssp/internal/sim"
@@ -44,6 +46,45 @@ func LoadProgram(in, bench string, scale int) (*ir.Program, uint64, error) {
 		return p, want, nil
 	}
 	return nil, 0, fmt.Errorf("specify -in FILE or -bench NAME")
+}
+
+// StartProfiles begins host-side CPU and/or heap profiling for a tool run
+// (the -cpuprofile/-memprofile flags of cmd/experiments and cmd/sspcheck).
+// Either path may be empty to skip that profile. The returned stop function
+// must run exactly once before exit — typically deferred from main — and
+// finishes both profiles: it stops the CPU profile and writes an allocs-
+// focused heap profile after a final GC, so hot-path work on the simulator is
+// measured rather than guessed.
+func StartProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live heap before snapshotting
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 // MachineConfig builds a simulator configuration for "in-order" or "ooo",

@@ -24,6 +24,7 @@ import (
 	"ssp/internal/ir"
 	"ssp/internal/profile"
 	"ssp/internal/sim"
+	"ssp/internal/sim/decode"
 	"ssp/internal/ssp"
 	"ssp/internal/workloads"
 )
@@ -90,7 +91,17 @@ type Suite struct {
 
 	mu    sync.Mutex
 	progs map[string]*cell[*progSet]
+	decs  map[decodeKey]*cell[*decode.Program]
 	runs  map[RunKey]*cell[*sim.Result]
+}
+
+// decodeKey identifies one binary of the matrix: a benchmark adapted as a
+// variant. Machine models are deliberately absent — the predecoded image is
+// config-independent, so the in-order and OOO cells (and the perfect-memory
+// treatments, which only alter the hierarchy) all share one decode.
+type decodeKey struct {
+	Bench   string
+	Variant Variant
 }
 
 // progSet is one benchmark's built program, profile, and adapted variants.
@@ -118,6 +129,7 @@ func NewSuite(s Scale) *Suite {
 		Scale:   s,
 		Workers: runtime.GOMAXPROCS(0),
 		progs:   make(map[string]*cell[*progSet]),
+		decs:    make(map[decodeKey]*cell[*decode.Program]),
 		runs:    make(map[RunKey]*cell[*sim.Result]),
 	}
 }
@@ -257,6 +269,31 @@ func (s *Suite) Report(bench string, v Variant) (*ssp.Report, error) {
 	return rep, nil
 }
 
+// predecoded links and predecodes a benchmark variant's binary exactly once;
+// every cell over that binary — both machine models, all seeds of callers —
+// shares the immutable result. Duplicate in-flight requests coalesce.
+func (s *Suite) predecoded(bench string, v Variant) (*decode.Program, error) {
+	key := decodeKey{bench, v}
+	s.mu.Lock()
+	c, ok := s.decs[key]
+	if !ok {
+		c = new(cell[*decode.Program])
+		s.decs[key] = c
+	}
+	s.mu.Unlock()
+	return c.do(func() (*decode.Program, error) {
+		p, _, err := s.program(bench, v)
+		if err != nil {
+			return nil, err
+		}
+		img, err := ir.Link(p)
+		if err != nil {
+			return nil, err
+		}
+		return sim.Predecode(img), nil
+	})
+}
+
 // Run simulates a benchmark variant on a model, caching and checksum-
 // verifying the result. Concurrent calls with the same key coalesce onto a
 // single simulation and share its result.
@@ -278,7 +315,7 @@ func (s *Suite) simulate(key RunKey) (*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, _, err := s.program(key.Bench, key.Variant)
+	dp, err := s.predecoded(key.Bench, key.Variant)
 	if err != nil {
 		return nil, err
 	}
@@ -293,11 +330,7 @@ func (s *Suite) simulate(key RunKey) (*sim.Result, error) {
 			cfg.Mem.DelinquentIDs[id] = true
 		}
 	}
-	img, err := ir.Link(p)
-	if err != nil {
-		return nil, err
-	}
-	m := sim.New(cfg, img)
+	m := sim.NewPredecoded(cfg, dp)
 	start := time.Now()
 	res, err := m.Run()
 	if err != nil {

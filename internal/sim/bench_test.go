@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+
+	"ssp/internal/ir"
+	"ssp/internal/sim/decode"
+	"ssp/internal/workloads"
+)
+
+// benchProgram links and predecodes the fixed microbenchmark workload: the
+// mcf kernel at a scale that runs long enough to amortize setup but finishes
+// in well under a second per iteration on the tiny memory system. The decode
+// happens once, outside the timed loop — the pattern every real consumer
+// (exp.Suite, check) follows. All three engine microbenchmarks share it so
+// their numbers are comparable, and BENCH_sim.json tracks them across
+// refactors of the execution core.
+func benchProgram(b *testing.B) *decode.Program {
+	b.Helper()
+	spec, err := workloads.ByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _ := spec.Build(3000)
+	img, err := ir.Link(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Predecode(img)
+}
+
+// BenchmarkInterpret measures the functional interpreter: pure architectural
+// execution, no timing model.
+func BenchmarkInterpret(b *testing.B) {
+	dp := benchProgram(b)
+	cfg := DefaultInOrder()
+	cfg.UseTinyMem()
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		r, err := InterpretPredecoded(cfg, dp, 1<<40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += r.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// benchEngine measures one cycle-level engine on the shared workload,
+// reporting simulated cycles and retired instructions per host second.
+func benchEngine(b *testing.B, cfg Config) {
+	dp := benchProgram(b)
+	cfg.UseTinyMem()
+	b.ResetTimer()
+	var cycles, instrs int64
+	for i := 0; i < b.N; i++ {
+		res, err := NewPredecoded(cfg, dp).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TimedOut {
+			b.Fatal("watchdog expired")
+		}
+		cycles += res.Cycles
+		instrs += res.MainInstrs + res.SpecInstrs
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkInOrder measures the 12-stage in-order pipeline model.
+func BenchmarkInOrder(b *testing.B) { benchEngine(b, DefaultInOrder()) }
+
+// BenchmarkOOO measures the 16-stage out-of-order pipeline model.
+func BenchmarkOOO(b *testing.B) { benchEngine(b, DefaultOOO()) }

@@ -1,0 +1,420 @@
+package sim
+
+import (
+	"math"
+
+	"ssp/internal/ir"
+	"ssp/internal/sim/decode"
+)
+
+// archEffect captures everything the engines need to apply timing after the
+// architectural execution of one instruction.
+type archEffect struct {
+	nextPC    int
+	nullified bool
+
+	memKind  uint8 // 0 none, 1 load, 2 store, 3 prefetch
+	memAddr  uint64
+	memID    int
+	loadDest ir.Loc
+
+	brCond  bool // conditional branch needing prediction
+	brTaken bool
+
+	halt bool
+	kill bool
+}
+
+const (
+	memNone uint8 = iota
+	memLoad
+	memStore
+	memPrefetch
+)
+
+// handlerFn is one entry of the architectural dispatch table. Handlers read
+// their operands from the predecoded record and write machine state plus the
+// parts of the effect that differ from the fall-through default.
+type handlerFn func(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect)
+
+// execArch performs the architectural effects of the instruction at pc for
+// thread t: register, predicate, branch-register, memory, live-in buffer,
+// spawn and chk.c context effects, and the next PC. Timing (latencies, FU
+// occupancy, penalties) is the engines' business. Dispatch is one indexed
+// call through the handler table — the per-opcode switch is gone, and the
+// instruction is never re-inspected beyond its predecoded record.
+func (m *Machine) execArch(t *Thread, pc int) *archEffect {
+	if m.exec != nil {
+		m.exec.Exec(m, t, pc)
+	}
+	d := &m.code[pc]
+	// The effect lives in a Machine-resident scratch slot, returned by
+	// pointer: handlers receive it across an indirect call (which would
+	// force a heap allocation were it a local), and the engines read it in
+	// place instead of copying 48 bytes per executed instruction. The slot
+	// is dead once the caller's timing logic for the instruction ends;
+	// execArch is never reentered within one instruction.
+	ef := &m.ef
+	*ef = archEffect{nextPC: pc + 1, memID: int(d.ID)}
+	if d.Qp != ir.PTrue && !t.preds[d.Qp] {
+		ef.nullified = true
+		if d.Op == ir.OpBr {
+			ef.brCond = true // trained as not-taken
+		}
+		return ef
+	}
+	handlers[d.H](m, t, d, pc, ef)
+	return ef
+}
+
+var handlers = [decode.NumHandlers]handlerFn{
+	decode.HNop:       hNop,
+	decode.HAdd:       hAdd,
+	decode.HAddI:      hAddI,
+	decode.HSub:       hSub,
+	decode.HSubI:      hSubI,
+	decode.HMul:       hMul,
+	decode.HMulI:      hMulI,
+	decode.HAnd:       hAnd,
+	decode.HAndI:      hAndI,
+	decode.HOr:        hOr,
+	decode.HOrI:       hOrI,
+	decode.HXor:       hXor,
+	decode.HXorI:      hXorI,
+	decode.HShl:       hShl,
+	decode.HShlI:      hShlI,
+	decode.HShr:       hShr,
+	decode.HShrI:      hShrI,
+	decode.HMov:       hMov,
+	decode.HMovI:      hMovI,
+	decode.HCmp:       hCmp,
+	decode.HCmpI:      hCmpI,
+	decode.HLd:        hLd,
+	decode.HLdPI:      hLdPI,
+	decode.HSt:        hSt,
+	decode.HLfetch:    hLfetch,
+	decode.HBr:        hBr,
+	decode.HCall:      hCall,
+	decode.HCallB:     hCallB,
+	decode.HRet:       hRet,
+	decode.HMovBR:     hMovBR,
+	decode.HMovBRFunc: hMovBRFunc,
+	decode.HMovFromBR: hMovFromBR,
+	decode.HChk:       hChk,
+	decode.HSpawn:     hSpawn,
+	decode.HLiw:       hLiw,
+	decode.HLir:       hLir,
+	decode.HKill:      hKill,
+	decode.HHalt:      hHalt,
+	decode.HFAdd:      hFAdd,
+	decode.HFSub:      hFSub,
+	decode.HFMul:      hFMul,
+	decode.HFMA:       hFMA,
+	decode.HFLd:       hFLd,
+	decode.HFSt:       hFSt,
+	decode.HFCmp:      hFCmp,
+	decode.HSetF:      hSetF,
+	decode.HGetF:      hGetF,
+}
+
+// setReg writes a general register; writes to the hardwired r0 are dropped.
+func (t *Thread) setReg(r ir.Reg, v uint64) {
+	if r != ir.RegZero {
+		t.regs[r] = v
+	}
+}
+
+func hNop(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {}
+
+func hAdd(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, t.regs[d.Ra]+t.regs[d.Rb])
+}
+
+func hAddI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, t.regs[d.Ra]+uint64(d.Imm))
+}
+
+func hSub(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, t.regs[d.Ra]-t.regs[d.Rb])
+}
+
+func hSubI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, t.regs[d.Ra]-uint64(d.Imm))
+}
+
+func hMul(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, t.regs[d.Ra]*t.regs[d.Rb])
+}
+
+func hMulI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, t.regs[d.Ra]*uint64(d.Imm))
+}
+
+func hAnd(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, t.regs[d.Ra]&t.regs[d.Rb])
+}
+
+func hAndI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, t.regs[d.Ra]&uint64(d.Imm))
+}
+
+func hOr(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, t.regs[d.Ra]|t.regs[d.Rb])
+}
+
+func hOrI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, t.regs[d.Ra]|uint64(d.Imm))
+}
+
+func hXor(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, t.regs[d.Ra]^t.regs[d.Rb])
+}
+
+func hXorI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, t.regs[d.Ra]^uint64(d.Imm))
+}
+
+func hShl(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, t.regs[d.Ra]<<(t.regs[d.Rb]&63))
+}
+
+func hShlI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, t.regs[d.Ra]<<(uint64(d.Imm)&63))
+}
+
+func hShr(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, t.regs[d.Ra]>>(t.regs[d.Rb]&63))
+}
+
+func hShrI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, t.regs[d.Ra]>>(uint64(d.Imm)&63))
+}
+
+func hMov(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, t.regs[d.Ra])
+}
+
+func hMovI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, uint64(d.Imm))
+}
+
+// cmpResult evaluates an integer comparison.
+func cmpResult(cond ir.Cond, a, b uint64) bool {
+	switch cond {
+	case ir.CondEQ:
+		return a == b
+	case ir.CondNE:
+		return a != b
+	case ir.CondLT:
+		return int64(a) < int64(b)
+	case ir.CondLE:
+		return int64(a) <= int64(b)
+	case ir.CondGT:
+		return int64(a) > int64(b)
+	case ir.CondGE:
+		return int64(a) >= int64(b)
+	case ir.CondLTU:
+		return a < b
+	case ir.CondGEU:
+		return a >= b
+	}
+	return false
+}
+
+// setPreds writes a compare's complementary predicate pair; writes to the
+// hardwired p0 are dropped.
+func setPreds(t *Thread, d *decode.Decoded, r bool) {
+	if d.Pd1 != ir.PTrue {
+		t.preds[d.Pd1] = r
+	}
+	if d.Pd2 != ir.PTrue {
+		t.preds[d.Pd2] = !r
+	}
+}
+
+func hCmp(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	setPreds(t, d, cmpResult(d.Cond, t.regs[d.Ra], t.regs[d.Rb]))
+}
+
+func hCmpI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	setPreds(t, d, cmpResult(d.Cond, t.regs[d.Ra], uint64(d.Imm)))
+}
+
+func hLd(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	addr := t.regs[d.Ra] + uint64(d.Disp)
+	t.setReg(d.Rd, m.Mem.Load(addr))
+	ef.memKind, ef.memAddr = memLoad, addr
+	ef.loadDest = ir.GRLoc(d.Rd)
+}
+
+func hLdPI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	// Post-increment form: d.Imm carries the stride. The base update reads
+	// Ra after the destination write, so ld rX = [rX], s post-increments
+	// the loaded value — exactly the pre-split semantics.
+	addr := t.regs[d.Ra] + uint64(d.Disp)
+	t.setReg(d.Rd, m.Mem.Load(addr))
+	t.setReg(d.Ra, t.regs[d.Ra]+uint64(d.Imm))
+	ef.memKind, ef.memAddr = memLoad, addr
+	ef.loadDest = ir.GRLoc(d.Rd)
+}
+
+func hSt(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	addr := t.regs[d.Ra] + uint64(d.Disp)
+	if t.spec {
+		// P-slices never contain stores (§2); if one sneaks into a
+		// speculative thread the hardware suppresses it so the main
+		// thread's architectural state is never altered.
+		m.res.SpecStores++
+	} else {
+		m.Mem.Store(addr, t.regs[d.Rb])
+		ef.memKind, ef.memAddr = memStore, addr
+	}
+}
+
+func hLfetch(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	ef.memKind, ef.memAddr = memPrefetch, t.regs[d.Ra]+uint64(d.Disp)
+}
+
+func hBr(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	ef.brTaken = true
+	ef.brCond = d.Qp != ir.PTrue
+	ef.nextPC = int(d.Tgt)
+}
+
+func hCall(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.brs[d.Bd] = uint64(pc + 1)
+	ef.nextPC = int(d.Tgt)
+}
+
+func hCallB(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	tgt := int(t.brs[d.Bs])
+	t.brs[d.Bd] = uint64(pc + 1)
+	ef.nextPC = tgt
+}
+
+func hRet(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	ef.nextPC = int(t.brs[d.Bs])
+}
+
+func hMovBR(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.brs[d.Bd] = t.regs[d.Ra]
+}
+
+func hMovBRFunc(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.brs[d.Bd] = uint64(d.Tgt)
+}
+
+func hMovFromBR(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, t.brs[d.Bs])
+}
+
+func hChk(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	if t.spec || m.noSpec || m.now-t.lastChkTaken < m.Cfg.SpawnCooldown {
+		return
+	}
+	if m.freeContext() != nil {
+		// Lightweight exception: divert to the stub block.
+		m.res.ChkTaken++
+		t.lastChkTaken = m.now
+		t.resumePC = pc + 1
+		ef.nextPC = int(d.Tgt)
+		ef.brTaken = true
+	}
+}
+
+func hSpawn(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	if m.noSpec {
+		m.res.SpawnsIgnored++
+	} else if c := m.freeContext(); c != nil {
+		m.startThread(c, int(d.Tgt), t)
+		m.res.Spawns++
+	} else {
+		m.res.SpawnsIgnored++
+	}
+	if t.resumePC >= 0 {
+		ef.nextPC = t.resumePC
+		t.resumePC = -1
+		ef.brTaken = true
+	}
+}
+
+func hLiw(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.outLIB[d.Imm] = t.regs[d.Ra] // slot pre-masked at decode
+}
+
+func hLir(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, t.inLIB[d.Imm]) // slot pre-masked at decode
+}
+
+func hKill(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	ef.kill = true
+}
+
+func hHalt(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	if t.spec {
+		ef.kill = true
+	} else {
+		ef.halt = true
+	}
+}
+
+func hFAdd(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setFR(d.Fd, t.fr(d.Fa)+t.fr(d.Fb))
+}
+
+func hFSub(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setFR(d.Fd, t.fr(d.Fa)-t.fr(d.Fb))
+}
+
+func hFMul(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setFR(d.Fd, t.fr(d.Fa)*t.fr(d.Fb))
+}
+
+func hFMA(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setFR(d.Fd, t.fr(d.Fa)*t.fr(d.Fb)+t.fr(d.Fc))
+}
+
+func hFLd(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	addr := t.regs[d.Ra] + uint64(d.Disp)
+	t.setFR(d.Fd, math.Float64frombits(m.Mem.Load(addr)))
+	ef.memKind, ef.memAddr = memLoad, addr
+	ef.loadDest = ir.FRLoc(d.Fd)
+}
+
+func hFSt(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	addr := t.regs[d.Ra] + uint64(d.Disp)
+	if t.spec {
+		m.res.SpecStores++
+	} else {
+		m.Mem.Store(addr, math.Float64bits(t.fr(d.Fa)))
+		ef.memKind, ef.memAddr = memStore, addr
+	}
+}
+
+func hFCmp(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	a, b := t.fr(d.Fa), t.fr(d.Fb)
+	var r bool
+	switch d.Cond {
+	case ir.CondEQ:
+		r = a == b
+	case ir.CondNE:
+		r = a != b
+	case ir.CondLT, ir.CondLTU:
+		r = a < b
+	case ir.CondLE:
+		r = a <= b
+	case ir.CondGT:
+		r = a > b
+	case ir.CondGE, ir.CondGEU:
+		r = a >= b
+	}
+	setPreds(t, d, r)
+}
+
+func hSetF(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setFR(d.Fd, math.Float64frombits(t.regs[d.Ra]))
+}
+
+func hGetF(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
+	t.setReg(d.Rd, math.Float64bits(t.fr(d.Fa)))
+}

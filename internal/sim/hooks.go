@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"ssp/internal/ir"
+	"ssp/internal/sim/mem"
+)
+
+// ExecHooks observes every architecturally executed instruction, fired at the
+// top of execArch before any state changes (so a hook sees the pre-execution
+// register file). The machine carries no hook by default: the per-instruction
+// cost of instrumentation-off is a single nil check. Tracing (Tracer) and PC
+// profiling (profileHooks) are both implemented on this interface.
+type ExecHooks interface {
+	// Exec is called once per executed instruction, including nullified
+	// ones (a predicated-off instruction still occupies an issue slot).
+	Exec(m *Machine, t *Thread, pc int)
+}
+
+// CycleStats is what the cycle-level engines hand the per-cycle hook: the
+// main thread's issue outcome this cycle, which the default stats hook turns
+// into the Figure 10 breakdown.
+type CycleStats struct {
+	// IssuedMain is how many instructions the main thread issued.
+	IssuedMain int
+	// StalledOnLoad reports whether the main thread's first blocked
+	// instruction was scoreboard-stalled on an outstanding load, and
+	// StallLevel the level satisfying that load (in-order model only).
+	StalledOnLoad bool
+	StallLevel    mem.Level
+}
+
+// CycleHooks observes every simulated cycle of the cycle-level engines. The
+// default is statsHooks (cycle breakdown + context-utilization histogram);
+// DisableStats removes it for pure-throughput runs, at the price of a Result
+// whose Breakdown/SpecActiveHist are empty (and therefore fail
+// check.Conservation, deliberately).
+type CycleHooks interface {
+	Cycle(m *Machine, main *Thread, s CycleStats)
+}
+
+// statsHooks is the default CycleHooks: it maintains Result.Breakdown and
+// Result.SpecActiveHist exactly as the engines did before the hook layer
+// existed, so default-configured results are bit-identical.
+type statsHooks struct{}
+
+func (statsHooks) Cycle(m *Machine, main *Thread, s CycleStats) {
+	m.accountCycle(main, s.IssuedMain, s.StalledOnLoad, s.StallLevel)
+	m.recordUtilization()
+}
+
+// profileHooks maintains Result.PCCount and Result.CallEdges when
+// Config.Profile is set. It lives on the exec hook so profiling is free when
+// off — the engines carry no profiling branches of their own.
+type profileHooks struct{}
+
+func (profileHooks) Exec(m *Machine, t *Thread, pc int) {
+	if t.spec {
+		return
+	}
+	m.res.PCCount[pc]++
+	d := &m.code[pc]
+	if d.Op != ir.OpCallB {
+		return
+	}
+	// Indirect call about to execute (predicate permitting): record the
+	// edge from the pre-execution branch register, the same value the
+	// handler will jump through.
+	if d.Qp != ir.PTrue && !t.preds[d.Qp] {
+		return
+	}
+	tgt := int(t.brs[d.Bs])
+	edges := m.res.CallEdges[int(d.ID)]
+	if edges == nil {
+		edges = make(map[int]uint64)
+		m.res.CallEdges[int(d.ID)] = edges
+	}
+	edges[tgt]++
+}
+
+// execChain fans one exec event out to two hooks, letting a tracer and the
+// profiler coexist.
+type execChain struct{ a, b ExecHooks }
+
+func (c execChain) Exec(m *Machine, t *Thread, pc int) {
+	c.a.Exec(m, t, pc)
+	c.b.Exec(m, t, pc)
+}
+
+// attachExec adds an exec hook, chaining after any already installed.
+func (m *Machine) attachExec(h ExecHooks) {
+	if m.exec == nil {
+		m.exec = h
+	} else {
+		m.exec = execChain{m.exec, h}
+	}
+}
+
+// AttachExec installs an instruction-level hook (tracers, external
+// profilers). Hooks fire in attachment order.
+func (m *Machine) AttachExec(h ExecHooks) { m.attachExec(h) }
+
+// SetCycleHooks replaces the per-cycle hook. Passing nil disables per-cycle
+// instrumentation entirely (see DisableStats).
+func (m *Machine) SetCycleHooks(h CycleHooks) { m.cycle = h }
+
+// DisableStats detaches the default per-cycle stats recorder. The run gets
+// faster; the Result's Breakdown and SpecActiveHist stay zero and no longer
+// satisfy check.Conservation — use only for throughput measurements.
+func (m *Machine) DisableStats() { m.cycle = nil }
+
+// Now returns the current simulated cycle, for hook implementations.
+func (m *Machine) Now() int64 { return m.now }

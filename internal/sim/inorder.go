@@ -2,6 +2,7 @@ package sim
 
 import (
 	"ssp/internal/ir"
+	"ssp/internal/sim/decode"
 	"ssp/internal/sim/mem"
 )
 
@@ -60,8 +61,13 @@ func (m *Machine) runInOrder() {
 				break
 			}
 		}
-		m.accountCycle(main, issuedMain, stalledOnLoad, stallLevel)
-		m.recordUtilization()
+		if m.cycle != nil {
+			m.cycle.Cycle(m, main, CycleStats{
+				IssuedMain:    issuedMain,
+				StalledOnLoad: stalledOnLoad,
+				StallLevel:    stallLevel,
+			})
+		}
 	}
 }
 
@@ -112,28 +118,28 @@ func (m *Machine) issueInOrder(t *Thread, intU, memU, brU, fpU *int) (issued, co
 		return false, false, 0, false
 	}
 	pc := t.pc
-	d := &m.dec[pc]
+	d := &m.code[pc]
 	// Structural hazard: required unit busy.
-	switch d.fu {
-	case fuInt:
+	switch d.FU {
+	case decode.FUInt:
 		if *intU == 0 {
 			return false, false, 0, false
 		}
-	case fuMem:
+	case decode.FUMem:
 		if *memU == 0 {
 			return false, false, 0, false
 		}
-	case fuBr:
+	case decode.FUBr:
 		if *brU == 0 {
 			return false, false, 0, false
 		}
-	case fuFP:
+	case decode.FUFP:
 		if *fpU == 0 {
 			return false, false, 0, false
 		}
 	}
 	// Scoreboard: all sources ready.
-	for _, loc := range d.uses {
+	for _, loc := range d.Uses {
 		if t.ready[loc] > m.now {
 			if l := t.loadLevel[loc]; l != 0 {
 				return false, false, mem.Level(l - 1), true
@@ -141,14 +147,14 @@ func (m *Machine) issueInOrder(t *Thread, intU, memU, brU, fpU *int) (issued, co
 			return false, false, 0, false
 		}
 	}
-	switch d.fu {
-	case fuInt:
+	switch d.FU {
+	case decode.FUInt:
 		*intU--
-	case fuMem:
+	case decode.FUMem:
 		*memU--
-	case fuBr:
+	case decode.FUBr:
 		*brU--
-	case fuFP:
+	case decode.FUFP:
 		*fpU--
 	}
 
@@ -161,14 +167,12 @@ func (m *Machine) issueInOrder(t *Thread, intU, memU, brU, fpU *int) (issued, co
 		}
 	} else {
 		m.res.MainInstrs++
-		if m.res.PCCount != nil {
-			m.res.PCCount[pc]++
-		}
 	}
 
 	// Default completion time for defined locations.
-	for _, loc := range d.defs {
-		t.ready[loc] = m.now + d.lat
+	lat := m.lat[d.Lat]
+	for _, loc := range d.Defs {
+		t.ready[loc] = m.now + lat
 		t.loadLevel[loc] = 0
 	}
 	if !ef.nullified {
@@ -178,7 +182,11 @@ func (m *Machine) issueInOrder(t *Thread, intU, memU, brU, fpU *int) (issued, co
 			t.ready[ef.loadDest] = m.now + acc.Latency
 			if acc.Level != mem.L1 {
 				t.loadLevel[ef.loadDest] = uint8(acc.Level) + 1
-				t.pending = append(t.pending, pendingFill{readyAt: m.now + acc.Latency, level: acc.Level})
+				if m.cycle != nil {
+					// Only the cycle hook's accounting consumes (and
+					// compacts) pending fills; don't grow them unhooked.
+					t.pending = append(t.pending, pendingFill{readyAt: m.now + acc.Latency, level: acc.Level})
+				}
 			}
 		case memStore:
 			m.Hier.Access(ef.memID, ef.memAddr, m.now, true)
@@ -186,14 +194,13 @@ func (m *Machine) issueInOrder(t *Thread, intU, memU, brU, fpU *int) (issued, co
 			m.Hier.Prefetch(ef.memID, ef.memAddr, m.now)
 		}
 	}
-	in := &m.Img.Code[pc].I
 	if ef.brCond {
 		if m.Pred.PredictAndTrain(uint64(pc), ef.brTaken && !ef.nullified) {
 			t.frontStallUntil = m.now + m.Cfg.MispredictPenalty
 			m.res.Mispredicts++
 		}
 	}
-	if in.Op == ir.OpChk && ef.nextPC != pc+1 {
+	if d.Op == ir.OpChk && ef.nextPC != pc+1 {
 		// The lightweight exception flushes the pipeline (§4.4.1).
 		t.frontStallUntil = m.now + m.Cfg.SpawnFlushPenalty
 	}

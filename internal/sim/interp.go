@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ssp/internal/ir"
+	"ssp/internal/sim/decode"
 	"ssp/internal/sim/mem"
 )
 
@@ -14,24 +15,28 @@ type InterpResult struct {
 	Mem    *mem.Memory
 }
 
-// Interpret executes only the main thread functionally, with no timing and
-// no speculative contexts: every chk.c finds no free context (it behaves as
-// a nop, exactly its architectural fallback) and every spawn is ignored. It
-// is the reference semantics the cycle-level engines are differentially
-// tested against, and doubles as a fast sanity check that an SSP-enhanced
-// binary leaves the main thread's architectural behaviour unchanged (§2:
-// speculative execution "does not alter the architecture state of the main
-// thread"). cfg selects the memory sizing and context count under test so the
+// Interpret executes only the main thread functionally, with no timing and no
+// speculative contexts: the machine runs in its explicit no-speculation mode,
+// so chk.c never raises its exception (it behaves as a nop, exactly its
+// architectural fallback) and every spawn is counted as ignored. It is the
+// reference semantics the cycle-level engines are differentially tested
+// against, and doubles as a fast sanity check that an SSP-enhanced binary
+// leaves the main thread's architectural behaviour unchanged (§2: speculative
+// execution "does not alter the architecture state of the main thread"). cfg
+// selects the memory sizing and context count under test so the
 // interpretation matches the configuration the cycle models run with.
 func Interpret(cfg Config, img *ir.Image, maxInstrs int64) (*InterpResult, error) {
-	m := New(cfg, img)
-	// Occupy all non-main contexts so chk.c/spawn never fire.
-	for _, t := range m.threads[1:] {
-		t.active = true
-	}
+	return InterpretPredecoded(cfg, decode.Predecode(img), maxInstrs)
+}
+
+// InterpretPredecoded is Interpret over an already-predecoded image, for
+// callers that share one decode across engines and configurations.
+func InterpretPredecoded(cfg Config, dp *decode.Program, maxInstrs int64) (*InterpResult, error) {
+	m := NewPredecoded(cfg, dp)
+	m.noSpec = true
 	t := m.main()
 	t.active = true
-	t.pc = img.Entry
+	t.pc = dp.Img.Entry
 	var n int64
 	for n < maxInstrs {
 		ef := m.execArch(t, t.pc)

@@ -2,22 +2,11 @@ package sim
 
 import (
 	"fmt"
-	"math"
 
 	"ssp/internal/ir"
 	"ssp/internal/sim/bpred"
+	"ssp/internal/sim/decode"
 	"ssp/internal/sim/mem"
-)
-
-// fuClass groups opcodes by the function unit they occupy.
-type fuClass uint8
-
-const (
-	fuNone fuClass = iota
-	fuInt
-	fuMem
-	fuBr
-	fuFP
 )
 
 // libSlots is the number of live-in buffer slots per context (the modelled
@@ -59,12 +48,20 @@ type Thread struct {
 	ready     [ir.NumLocs]int64
 	loadLevel [ir.NumLocs]uint8
 
-	// pending tracks outstanding cache fills (for accounting).
+	// pending tracks outstanding cache fills (for accounting; only
+	// maintained while cycle hooks are installed).
 	pending []pendingFill
 
 	// OOO state (nil on the in-order model).
 	win *window
 }
+
+// Context returns the hardware context index of the thread.
+func (t *Thread) Context() int { return t.idx }
+
+// Speculative reports whether the thread runs a p-slice rather than the main
+// program.
+func (t *Thread) Speculative() bool { return t.spec }
 
 type pendingFill struct {
 	readyAt int64
@@ -90,15 +87,9 @@ func (t *Thread) deepestOutstanding(now int64) (mem.Level, bool) {
 	return deepest, found
 }
 
-// decoded caches per-PC analysis of the linked code.
-type decoded struct {
-	uses []ir.Loc
-	defs []ir.Loc
-	fu   fuClass
-	lat  int64
-}
-
-// Machine simulates one program on one machine model.
+// Machine simulates one program on one machine model. Its execution core is
+// predecoded: architectural execution dispatches through a handler table over
+// the dense decode.Decoded sidecar, never through ir.Instr.
 type Machine struct {
 	Cfg  Config
 	Img  *ir.Image
@@ -106,41 +97,73 @@ type Machine struct {
 	Hier *mem.Hierarchy
 	Pred *bpred.Predictor
 
+	// code is the predecoded sidecar (shared, immutable) and lat the
+	// machine's resolution of the config-independent latency classes.
+	code []decode.Decoded
+	lat  [decode.NumLatClasses]int64
+
 	threads []*Thread
-	dec     []decoded
 	now     int64
 	res     Result
-	tracer  *Tracer
+	// ef is execArch's scratch effect slot (see exec.go).
+	ef archEffect
+
+	// exec and cycle are the instrumentation hook points (hooks.go). exec
+	// is nil unless a tracer/profiler is attached; cycle defaults to the
+	// stats recorder behind the Figure 10 breakdown and the utilization
+	// histogram, and can be detached for pure-throughput runs.
+	exec  ExecHooks
+	cycle CycleHooks
+
+	// noSpec suppresses all speculative-thread creation: chk.c never takes
+	// its exception and spawn requests are counted but ignored. It is the
+	// interpreter's explicit "no speculation" mode — unlike occupying the
+	// spare contexts, it leaves the context-utilization accounting honest.
+	noSpec bool
 
 	mainDone bool
 	rr       int // round-robin cursor over speculative threads
 }
 
-// New builds a machine for the image under the given configuration.
+// New builds a machine for the image under the given configuration,
+// predecoding the image privately. Callers running several machines over the
+// same image should Predecode once and share it via NewPredecoded.
 func New(cfg Config, img *ir.Image) *Machine {
+	return NewPredecoded(cfg, decode.Predecode(img))
+}
+
+// Predecode lowers a linked image into the shareable form NewPredecoded
+// consumes. The result is immutable: any number of machines, across models
+// and goroutines, may execute it concurrently.
+func Predecode(img *ir.Image) *decode.Program { return decode.Predecode(img) }
+
+// NewPredecoded builds a machine over an already-predecoded image.
+func NewPredecoded(cfg Config, dp *decode.Program) *Machine {
 	m := &Machine{
 		Cfg:  cfg,
-		Img:  img,
+		Img:  dp.Img,
 		Mem:  mem.NewMemory(),
 		Hier: mem.NewHierarchy(cfg.Mem),
 		Pred: bpred.New(),
+		code: dp.Code,
 	}
-	m.Mem.Install(img.Data)
+	m.lat = [decode.NumLatClasses]int64{
+		decode.Lat1:   1,
+		decode.Lat2:   2,
+		decode.LatMul: cfg.MulLat,
+		decode.LatFP:  cfg.FPLat,
+		decode.LatLIB: cfg.LIBCopyLat,
+	}
+	m.Mem.InstallSnapshot(dp.Mem)
 	m.threads = make([]*Thread, cfg.Contexts)
 	for i := range m.threads {
 		m.threads[i] = &Thread{idx: i, resumePC: -1, lastChkTaken: -1 << 40}
 	}
-	m.dec = make([]decoded, len(img.Code))
-	for pc := range img.Code {
-		in := &img.Code[pc].I
-		d := &m.dec[pc]
-		d.uses = in.AppendUses(nil)
-		d.defs = in.AppendDefs(nil)
-		d.fu, d.lat = classify(cfg, in)
-	}
+	m.cycle = statsHooks{}
 	if cfg.Profile {
-		m.res.PCCount = make([]uint64, len(img.Code))
+		m.res.PCCount = make([]uint64, len(dp.Code))
 		m.res.CallEdges = make(map[int]map[int]uint64)
+		m.attachExec(profileHooks{})
 	}
 	// Buckets 0..Contexts: normally at most Contexts-1 speculative threads
 	// exist (the main thread holds context 0), but a freed main context can
@@ -164,29 +187,6 @@ func (m *Machine) recordUtilization() {
 	m.res.SpecActiveHist[n]++
 }
 
-func classify(cfg Config, in *ir.Instr) (fuClass, int64) {
-	switch in.Op {
-	case ir.OpNop, ir.OpKill, ir.OpHalt:
-		return fuNone, 1
-	case ir.OpMul:
-		return fuInt, cfg.MulLat
-	case ir.OpMov, ir.OpMovI, ir.OpCmp, ir.OpMovFromBR, ir.OpMovBR,
-		ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr:
-		return fuInt, 1
-	case ir.OpLd, ir.OpSt, ir.OpLfetch, ir.OpFLd, ir.OpFSt:
-		return fuMem, 1 // loads get their latency from the hierarchy
-	case ir.OpLiw, ir.OpLir:
-		return fuMem, cfg.LIBCopyLat
-	case ir.OpBr, ir.OpCall, ir.OpCallB, ir.OpRet, ir.OpChk, ir.OpSpawn:
-		return fuBr, 1
-	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFMA, ir.OpFCmp:
-		return fuFP, cfg.FPLat
-	case ir.OpSetF, ir.OpGetF:
-		return fuInt, 2 // cross-file moves take an extra cycle
-	}
-	return fuInt, 1
-}
-
 // main returns the main thread (context 0).
 func (m *Machine) main() *Thread { return m.threads[0] }
 
@@ -198,246 +198,6 @@ func (m *Machine) freeContext() *Thread {
 		}
 	}
 	return nil
-}
-
-// archEffect captures everything the engines need to apply timing after the
-// architectural execution of one instruction.
-type archEffect struct {
-	nextPC    int
-	nullified bool
-
-	memKind  uint8 // 0 none, 1 load, 2 store, 3 prefetch
-	memAddr  uint64
-	memID    int
-	loadDest ir.Loc
-
-	brCond  bool // conditional branch needing prediction
-	brTaken bool
-
-	halt bool
-	kill bool
-}
-
-const (
-	memNone uint8 = iota
-	memLoad
-	memStore
-	memPrefetch
-)
-
-// execArch performs the architectural effects of the instruction at pc for
-// thread t: register, predicate, branch-register, memory, live-in buffer,
-// spawn and chk.c context effects, and the next PC. Timing (latencies, FU
-// occupancy, penalties) is the engines' business.
-func (m *Machine) execArch(t *Thread, pc int) archEffect {
-	if m.tracer != nil {
-		m.trace(t, pc)
-	}
-	l := &m.Img.Code[pc]
-	in := &l.I
-	ef := archEffect{nextPC: pc + 1, memID: in.ID}
-	if in.Qp != ir.PTrue && !t.preds[in.Qp] {
-		ef.nullified = true
-		if in.Op == ir.OpBr {
-			ef.brCond = true // trained as not-taken
-		}
-		return ef
-	}
-	op2 := func() uint64 {
-		if in.UseImm {
-			return uint64(in.Imm)
-		}
-		return t.regs[in.Rb]
-	}
-	setReg := func(r ir.Reg, v uint64) {
-		if r != ir.RegZero {
-			t.regs[r] = v
-		}
-	}
-	switch in.Op {
-	case ir.OpNop:
-	case ir.OpAdd:
-		setReg(in.Rd, t.regs[in.Ra]+op2())
-	case ir.OpSub:
-		setReg(in.Rd, t.regs[in.Ra]-op2())
-	case ir.OpMul:
-		setReg(in.Rd, t.regs[in.Ra]*op2())
-	case ir.OpAnd:
-		setReg(in.Rd, t.regs[in.Ra]&op2())
-	case ir.OpOr:
-		setReg(in.Rd, t.regs[in.Ra]|op2())
-	case ir.OpXor:
-		setReg(in.Rd, t.regs[in.Ra]^op2())
-	case ir.OpShl:
-		setReg(in.Rd, t.regs[in.Ra]<<(op2()&63))
-	case ir.OpShr:
-		setReg(in.Rd, t.regs[in.Ra]>>(op2()&63))
-	case ir.OpMov:
-		setReg(in.Rd, t.regs[in.Ra])
-	case ir.OpMovI:
-		setReg(in.Rd, uint64(in.Imm))
-	case ir.OpCmp:
-		a, b := t.regs[in.Ra], op2()
-		var r bool
-		switch in.Cond {
-		case ir.CondEQ:
-			r = a == b
-		case ir.CondNE:
-			r = a != b
-		case ir.CondLT:
-			r = int64(a) < int64(b)
-		case ir.CondLE:
-			r = int64(a) <= int64(b)
-		case ir.CondGT:
-			r = int64(a) > int64(b)
-		case ir.CondGE:
-			r = int64(a) >= int64(b)
-		case ir.CondLTU:
-			r = a < b
-		case ir.CondGEU:
-			r = a >= b
-		}
-		if in.Pd1 != ir.PTrue {
-			t.preds[in.Pd1] = r
-		}
-		if in.Pd2 != ir.PTrue {
-			t.preds[in.Pd2] = !r
-		}
-	case ir.OpLd:
-		addr := t.regs[in.Ra] + uint64(in.Disp)
-		setReg(in.Rd, m.Mem.Load(addr))
-		if in.PostInc != 0 {
-			setReg(in.Ra, t.regs[in.Ra]+uint64(in.PostInc))
-		}
-		ef.memKind, ef.memAddr = memLoad, addr
-		ef.loadDest = ir.GRLoc(in.Rd)
-	case ir.OpSt:
-		addr := t.regs[in.Ra] + uint64(in.Disp)
-		if t.spec {
-			// P-slices never contain stores (§2); if one sneaks into a
-			// speculative thread the hardware suppresses it so the main
-			// thread's architectural state is never altered.
-			m.res.SpecStores++
-		} else {
-			m.Mem.Store(addr, t.regs[in.Rb])
-			ef.memKind, ef.memAddr = memStore, addr
-		}
-	case ir.OpLfetch:
-		ef.memKind, ef.memAddr = memPrefetch, t.regs[in.Ra]+uint64(in.Disp)
-	case ir.OpBr:
-		ef.brTaken = true
-		ef.brCond = in.Qp != ir.PTrue
-		ef.nextPC = int(l.Tgt)
-	case ir.OpCall:
-		t.brs[in.Bd] = uint64(pc + 1)
-		ef.nextPC = int(l.Tgt)
-	case ir.OpCallB:
-		tgt := int(t.brs[in.Bs])
-		t.brs[in.Bd] = uint64(pc + 1)
-		ef.nextPC = tgt
-		if m.res.CallEdges != nil && !t.spec {
-			edges := m.res.CallEdges[in.ID]
-			if edges == nil {
-				edges = make(map[int]uint64)
-				m.res.CallEdges[in.ID] = edges
-			}
-			edges[tgt]++
-		}
-	case ir.OpRet:
-		ef.nextPC = int(t.brs[in.Bs])
-	case ir.OpMovBR:
-		if in.Target != "" {
-			t.brs[in.Bd] = uint64(l.Tgt)
-		} else {
-			t.brs[in.Bd] = t.regs[in.Ra]
-		}
-	case ir.OpMovFromBR:
-		setReg(in.Rd, t.brs[in.Bs])
-	case ir.OpChk:
-		if !t.spec && m.now-t.lastChkTaken >= m.Cfg.SpawnCooldown {
-			if m.freeContext() != nil {
-				// Lightweight exception: divert to the stub block.
-				m.res.ChkTaken++
-				t.lastChkTaken = m.now
-				t.resumePC = pc + 1
-				ef.nextPC = int(l.Tgt)
-				ef.brTaken = true
-			}
-		}
-	case ir.OpSpawn:
-		if c := m.freeContext(); c != nil {
-			m.startThread(c, int(l.Tgt), t)
-			m.res.Spawns++
-		} else {
-			m.res.SpawnsIgnored++
-		}
-		if t.resumePC >= 0 {
-			ef.nextPC = t.resumePC
-			t.resumePC = -1
-			ef.brTaken = true
-		}
-	case ir.OpLiw:
-		t.outLIB[in.Imm&(libSlots-1)] = t.regs[in.Ra]
-	case ir.OpLir:
-		setReg(in.Rd, t.inLIB[in.Imm&(libSlots-1)])
-	case ir.OpKill:
-		ef.kill = true
-	case ir.OpHalt:
-		if t.spec {
-			ef.kill = true
-		} else {
-			ef.halt = true
-		}
-	case ir.OpFAdd:
-		t.setFR(in.Fd, t.fr(in.Fa)+t.fr(in.Fb))
-	case ir.OpFSub:
-		t.setFR(in.Fd, t.fr(in.Fa)-t.fr(in.Fb))
-	case ir.OpFMul:
-		t.setFR(in.Fd, t.fr(in.Fa)*t.fr(in.Fb))
-	case ir.OpFMA:
-		t.setFR(in.Fd, t.fr(in.Fa)*t.fr(in.Fb)+t.fr(in.Fc))
-	case ir.OpFLd:
-		addr := t.regs[in.Ra] + uint64(in.Disp)
-		t.setFR(in.Fd, math.Float64frombits(m.Mem.Load(addr)))
-		ef.memKind, ef.memAddr = memLoad, addr
-		ef.loadDest = ir.FRLoc(in.Fd)
-	case ir.OpFSt:
-		addr := t.regs[in.Ra] + uint64(in.Disp)
-		if t.spec {
-			m.res.SpecStores++
-		} else {
-			m.Mem.Store(addr, math.Float64bits(t.fr(in.Fa)))
-			ef.memKind, ef.memAddr = memStore, addr
-		}
-	case ir.OpFCmp:
-		a, b := t.fr(in.Fa), t.fr(in.Fb)
-		var r bool
-		switch in.Cond {
-		case ir.CondEQ:
-			r = a == b
-		case ir.CondNE:
-			r = a != b
-		case ir.CondLT, ir.CondLTU:
-			r = a < b
-		case ir.CondLE:
-			r = a <= b
-		case ir.CondGT:
-			r = a > b
-		case ir.CondGE, ir.CondGEU:
-			r = a >= b
-		}
-		if in.Pd1 != ir.PTrue {
-			t.preds[in.Pd1] = r
-		}
-		if in.Pd2 != ir.PTrue {
-			t.preds[in.Pd2] = !r
-		}
-	case ir.OpSetF:
-		t.setFR(in.Fd, math.Float64frombits(t.regs[in.Ra]))
-	case ir.OpGetF:
-		setReg(in.Rd, math.Float64bits(t.fr(in.Fa)))
-	}
-	return ef
 }
 
 // fr reads an FP register, honoring the hardwired f0 = +0.0 and f1 = +1.0.

@@ -53,6 +53,47 @@ func (m *Memory) Install(img map[uint64]uint64) {
 	}
 }
 
+// Snapshot is a data image pre-paged into this memory's layout, built once
+// and installed many times: each Install of a map image walks the map and
+// re-stores word by word, while installing a snapshot copies whole pages.
+// The predecode layer builds one per ir.Image so every machine over that
+// image (every matrix cell, every differential run) skips the map walk.
+type Snapshot struct {
+	idxs  []uint64
+	pages []*page
+}
+
+// NewSnapshot pre-pages a data image. The resident page set and contents are
+// exactly those Install(img) would produce — including pages that exist only
+// to hold explicit zero words — so installing the snapshot is observationally
+// identical to installing the map.
+func NewSnapshot(img map[uint64]uint64) *Snapshot {
+	m := NewMemory()
+	m.Install(img)
+	s := &Snapshot{
+		idxs:  make([]uint64, 0, len(m.pages)),
+		pages: make([]*page, 0, len(m.pages)),
+	}
+	for idx := range m.pages {
+		s.idxs = append(s.idxs, idx)
+	}
+	sort.Slice(s.idxs, func(i, j int) bool { return s.idxs[i] < s.idxs[j] })
+	for _, idx := range s.idxs {
+		s.pages = append(s.pages, m.pages[idx])
+	}
+	return s
+}
+
+// InstallSnapshot copies a pre-paged image into memory, one page copy per
+// resident page. The snapshot itself is never aliased and stays reusable.
+func (m *Memory) InstallSnapshot(s *Snapshot) {
+	for i, idx := range s.idxs {
+		p := new(page)
+		*p = *s.pages[i]
+		m.pages[idx] = p
+	}
+}
+
 // Footprint returns the number of resident pages (for tests).
 func (m *Memory) Footprint() int { return len(m.pages) }
 

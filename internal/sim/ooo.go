@@ -2,13 +2,14 @@ package sim
 
 import (
 	"ssp/internal/ir"
+	"ssp/internal/sim/decode"
 	"ssp/internal/sim/mem"
 )
 
 // wrec is one in-flight instruction in an OOO window.
 type wrec struct {
 	pc   int
-	fu   fuClass
+	fu   decode.FUClass
 	lat  int64
 	srcs [6]*wrec
 	nsrc int
@@ -140,8 +141,9 @@ func (m *Machine) runOOO() {
 		if main.win.haltAfterDrain && main.win.size() == 0 {
 			m.mainDone = true
 		}
-		m.accountCycle(main, issuedMain, false, 0)
-		m.recordUtilization()
+		if m.cycle != nil {
+			m.cycle.Cycle(m, main, CycleStats{IssuedMain: issuedMain})
+		}
 	}
 }
 
@@ -172,22 +174,22 @@ func (m *Machine) issueOOO(t *Thread, slots int, intU, memU, brU, fpU *int) int 
 			continue
 		}
 		switch r.fu {
-		case fuInt:
+		case decode.FUInt:
 			if *intU == 0 {
 				continue
 			}
 			*intU--
-		case fuMem:
+		case decode.FUMem:
 			if *memU == 0 {
 				continue
 			}
 			*memU--
-		case fuBr:
+		case decode.FUBr:
 			if *brU == 0 {
 				continue
 			}
 			*brU--
-		case fuFP:
+		case decode.FUFP:
 			if *fpU == 0 {
 				continue
 			}
@@ -198,7 +200,9 @@ func (m *Machine) issueOOO(t *Thread, slots int, intU, memU, brU, fpU *int) int 
 		case memLoad:
 			acc := m.Hier.Access(r.memID, r.memAddr, m.now, true)
 			r.doneAt = m.now + acc.Latency
-			if acc.Level != mem.L1 {
+			if acc.Level != mem.L1 && m.cycle != nil {
+				// Only the cycle hook's accounting consumes (and compacts)
+				// pending fills; don't grow them unhooked.
 				t.pending = append(t.pending, pendingFill{readyAt: r.doneAt, level: acc.Level})
 			}
 		case memStore:
@@ -238,7 +242,7 @@ func (m *Machine) dispatchOOO(t *Thread, slots int) {
 			w.waitDrain = false
 		}
 		pc := t.pc
-		d := &m.dec[pc]
+		d := &m.code[pc]
 		ef := m.execArch(t, pc)
 		t.instrs++
 		if t.spec {
@@ -248,13 +252,10 @@ func (m *Machine) dispatchOOO(t *Thread, slots int) {
 			}
 		} else {
 			m.res.MainInstrs++
-			if m.res.PCCount != nil {
-				m.res.PCCount[pc]++
-			}
 		}
 
-		r := &wrec{pc: pc, fu: d.fu, lat: d.lat}
-		for _, loc := range d.uses {
+		r := &wrec{pc: pc, fu: d.FU, lat: m.lat[d.Lat]}
+		for _, loc := range d.Uses {
 			if p := w.rename[loc]; p != nil && !(p.issued && p.doneAt <= m.now) {
 				if r.nsrc < len(r.srcs) {
 					r.srcs[r.nsrc] = p
@@ -265,19 +266,18 @@ func (m *Machine) dispatchOOO(t *Thread, slots int) {
 		if !ef.nullified && ef.memKind != memNone {
 			r.memKind, r.memAddr, r.memID = ef.memKind, ef.memAddr, ef.memID
 		}
-		for _, loc := range d.defs {
+		for _, loc := range d.Defs {
 			w.rename[loc] = r
 		}
 		w.push(r)
 
-		in := &m.Img.Code[pc].I
 		if ef.brCond {
 			if m.Pred.PredictAndTrain(uint64(pc), ef.brTaken && !ef.nullified) {
 				m.res.Mispredicts++
 				w.blocked = r
 			}
 		}
-		if in.Op == ir.OpChk && ef.nextPC != pc+1 {
+		if d.Op == ir.OpChk && ef.nextPC != pc+1 {
 			// Taken chk.c: the exception is recognized at retirement, so
 			// the stub cannot dispatch until everything older has left
 			// the pipe, and the refetch pays the flush penalty.

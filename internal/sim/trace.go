@@ -9,7 +9,9 @@ import (
 // attached to a machine — thread id, speculative flag, cycle, PC, and the
 // instruction text. It exists for debugging adapted binaries: watching a
 // chaining thread run ahead of the main thread in the interleaved trace is
-// the fastest way to understand a slack problem.
+// the fastest way to understand a slack problem. It is an ExecHooks
+// implementation riding the machine's exec hook point; a machine with no
+// tracer attached pays nothing.
 type Tracer struct {
 	W io.Writer
 	// MaxLines stops tracing after this many lines (0 = unlimited).
@@ -17,13 +19,12 @@ type Tracer struct {
 	lines    int64
 }
 
-// Attach installs the tracer on the machine.
-func (m *Machine) Attach(tr *Tracer) { m.tracer = tr }
+// Attach installs the tracer on the machine's exec hook point.
+func (m *Machine) Attach(tr *Tracer) { m.attachExec(tr) }
 
-// trace emits one line if a tracer is attached and its budget allows.
-func (m *Machine) trace(t *Thread, pc int) {
-	tr := m.tracer
-	if tr == nil || (tr.MaxLines > 0 && tr.lines >= tr.MaxLines) {
+// Exec emits one trace line if the budget allows. It implements ExecHooks.
+func (tr *Tracer) Exec(m *Machine, t *Thread, pc int) {
+	if tr.MaxLines > 0 && tr.lines >= tr.MaxLines {
 		return
 	}
 	tr.lines++
