@@ -1,12 +1,14 @@
 GO ?= go
 
-.PHONY: check fmt vet test race bench bench-smoke sspcheck predecode-sweep
+.PHONY: check fmt vet test race bench bench-smoke sspcheck predecode-sweep fastforward-sweep fuzz-smoke cover
 
 # check is the full gate: formatting, vet, the test suite under the race
 # detector (the concurrent experiment engine is exercised by internal/exp's
-# determinism and coalescing tests), and the differential/metamorphic fuzz
-# sweep over 32 fixed seeds (internal/check).
-check: fmt vet race sspcheck
+# determinism and coalescing tests), the differential/metamorphic fuzz sweep
+# over 32 fixed seeds (internal/check), the 500-seed fast-forward-equivalence
+# sweep, and a short native-fuzzing smoke of the parser and the adaptation
+# tool.
+check: fmt vet race sspcheck fastforward-sweep fuzz-smoke
 
 # sspcheck runs 32 seeded random programs through all three validation
 # layers; reproduce a reported failure with: go run ./cmd/sspcheck -seed N
@@ -17,6 +19,26 @@ sspcheck:
 # fresh vs shared vs stats-off machines must agree bit-for-bit per seed.
 predecode-sweep:
 	$(GO) run ./cmd/sspcheck -seeds 32 -predecode
+
+# fastforward-sweep is the regression gate for the stall-aware fast-forward
+# timing core: per-cycle vs fast-forwarded runs must agree bit-for-bit —
+# cycles, breakdowns, histograms, and memory statistics — on the original and
+# SSP-adapted program of every seed, under both machine models.
+fastforward-sweep:
+	$(GO) run ./cmd/sspcheck -seeds 500 -fastforward
+
+# fuzz-smoke gives each native fuzz target a short budget beyond its checked-in
+# corpus; a real campaign uses -fuzztime as long as you can afford.
+fuzz-smoke:
+	$(GO) test ./internal/ir -run '^$$' -fuzz FuzzParseAsmRoundTrip -fuzztime 30s
+	$(GO) test ./internal/ssp -run '^$$' -fuzz FuzzAdaptRandomProgram -fuzztime 30s
+
+# cover enforces the coverage floor over the whole module (statement coverage,
+# all packages counted against all tests).
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out -coverpkg=./... ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	awk -v t=$$total 'BEGIN { if (t + 0 < 70) { printf "coverage %.1f%% is below the 70%% floor\n", t; exit 1 } printf "coverage %.1f%% (floor 70%%)\n", t }'
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -10,7 +10,8 @@
 //	sspcheck -seeds 32         # seeds 0..31
 //	sspcheck -seed 17 -v       # reproduce one failure
 //	sspcheck -seeds 64 -full   # Table 1 memory system instead of tiny
-//	sspcheck -seeds 16 -predecode  # predecode-equivalence sweep instead
+//	sspcheck -seeds 16 -predecode    # predecode-equivalence sweep instead
+//	sspcheck -seeds 500 -fastforward # fast-forward-equivalence sweep instead
 //
 // A violation prints its seed and exits non-zero; rerunning with -seed N
 // reproduces it exactly.
@@ -19,23 +20,71 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ssp/internal/check"
 	"ssp/internal/cliutil"
 )
 
+// options selects what one sweep runs.
+type options struct {
+	seeds, start int64
+	seed         int64 // >= 0 checks that single seed instead
+	full         bool
+	predecode    bool
+	fastforward  bool
+	verbose      bool
+}
+
+// sweep runs the selected check layer over the seed range and returns how
+// many seeds were checked and how many failed. Progress goes to out,
+// violations to errw.
+func sweep(o options, out, errw io.Writer) (total int64, failures int) {
+	cfgs := check.Configs(!o.full)
+	checkSeed := check.Seed
+	layers := "all three layers"
+	switch {
+	case o.predecode:
+		checkSeed = check.PredecodeSeed
+		layers = "the predecode-equivalence layer"
+	case o.fastforward:
+		checkSeed = check.FastForwardSeed
+		layers = "the fast-forward-equivalence layer"
+	}
+
+	lo, hi := o.start, o.start+o.seeds
+	if o.seed >= 0 {
+		lo, hi = o.seed, o.seed+1
+	}
+	for s := lo; s < hi; s++ {
+		if err := checkSeed(s, cfgs); err != nil {
+			failures++
+			fmt.Fprintln(errw, "sspcheck: FAIL", err)
+			continue
+		}
+		if o.verbose {
+			fmt.Fprintf(out, "seed %d: ok\n", s)
+		}
+	}
+	total = hi - lo
+	if failures == 0 {
+		fmt.Fprintf(out, "sspcheck: %d seeds passed %s\n", total, layers)
+	}
+	return total, failures
+}
+
 func main() {
-	var (
-		seeds     = flag.Int64("seeds", 32, "number of seeds to sweep, starting at -start")
-		start     = flag.Int64("start", 0, "first seed of the sweep")
-		seed      = flag.Int64("seed", -1, "check a single seed (overrides -seeds)")
-		full      = flag.Bool("full", false, "use the full Table 1 memory system instead of the test sizing")
-		predecode = flag.Bool("predecode", false, "run the predecode-equivalence layer per seed instead of the differential/metamorphic layers")
-		verbose   = flag.Bool("v", false, "print each seed as it passes")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
-		memProf   = flag.String("memprofile", "", "write an allocation profile of the sweep to this file")
-	)
+	var o options
+	flag.Int64Var(&o.seeds, "seeds", 32, "number of seeds to sweep, starting at -start")
+	flag.Int64Var(&o.start, "start", 0, "first seed of the sweep")
+	flag.Int64Var(&o.seed, "seed", -1, "check a single seed (overrides -seeds)")
+	flag.BoolVar(&o.full, "full", false, "use the full Table 1 memory system instead of the test sizing")
+	flag.BoolVar(&o.predecode, "predecode", false, "run the predecode-equivalence layer per seed instead of the differential/metamorphic layers")
+	flag.BoolVar(&o.fastforward, "fastforward", false, "run the fast-forward-equivalence layer per seed instead of the differential/metamorphic layers")
+	flag.BoolVar(&o.verbose, "v", false, "print each seed as it passes")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memProf := flag.String("memprofile", "", "write an allocation profile of the sweep to this file")
 	flag.Parse()
 	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -43,34 +92,10 @@ func main() {
 		os.Exit(2)
 	}
 	defer stopProf()
-	cfgs := check.Configs(!*full)
-	checkSeed := check.Seed
-	layers := "all three layers"
-	if *predecode {
-		checkSeed = check.PredecodeSeed
-		layers = "the predecode-equivalence layer"
-	}
-
-	lo, hi := *start, *start+*seeds
-	if *seed >= 0 {
-		lo, hi = *seed, *seed+1
-	}
-	failures := 0
-	for s := lo; s < hi; s++ {
-		if err := checkSeed(s, cfgs); err != nil {
-			failures++
-			fmt.Fprintln(os.Stderr, "sspcheck: FAIL", err)
-			continue
-		}
-		if *verbose {
-			fmt.Printf("seed %d: ok\n", s)
-		}
-	}
-	n := hi - lo
+	total, failures := sweep(o, os.Stdout, os.Stderr)
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "sspcheck: %d/%d seeds failed\n", failures, n)
+		fmt.Fprintf(os.Stderr, "sspcheck: %d/%d seeds failed\n", failures, total)
 		stopProf()
 		os.Exit(1)
 	}
-	fmt.Printf("sspcheck: %d seeds passed %s\n", n, layers)
 }

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ssp/internal/cfg"
@@ -28,13 +29,13 @@ func main() {
 		block = flag.String("block", "", "for -what dep: restrict to this block's instructions (default: whole function)")
 	)
 	flag.Parse()
-	if err := run(*in, *bench, *scale, *fn, *what, *block); err != nil {
+	if err := run(os.Stdout, *in, *bench, *scale, *fn, *what, *block); err != nil {
 		fmt.Fprintln(os.Stderr, "sspdot:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, bench string, scale int, fnName, what, block string) error {
+func run(w io.Writer, in, bench string, scale int, fnName, what, block string) error {
 	p, _, err := cliutil.LoadProgram(in, bench, scale)
 	if err != nil {
 		return err
@@ -52,7 +53,7 @@ func run(in, bench string, scale int, fnName, what, block string) error {
 	lf := cfg.FindLoops(g, dom)
 	switch what {
 	case "cfg":
-		fmt.Print(g.Dot(lf))
+		fmt.Fprint(w, g.Dot(lf))
 	case "dep":
 		dg := dep.Build(p, f, g, dom, pdom)
 		var nodes []int
@@ -71,7 +72,7 @@ func run(in, bench string, scale int, fnName, what, block string) error {
 				}
 			}
 		}
-		fmt.Print(dg.Dot(fnName, nodes))
+		fmt.Fprint(w, dg.Dot(fnName, nodes))
 	default:
 		return fmt.Errorf("unknown -what %q (want cfg or dep)", what)
 	}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ssp/internal/ir"
+	"ssp/internal/profile"
+	"ssp/internal/sim"
+	"ssp/internal/ssp"
+	"ssp/internal/workloads"
+)
+
+// checkDot applies structural DOT validation: a digraph header, balanced
+// braces, and at least one edge — enough to catch an emitter regression
+// without depending on a graphviz binary the CI image may not have.
+func checkDot(t *testing.T, out string) {
+	t.Helper()
+	if !strings.HasPrefix(out, "digraph ") {
+		t.Fatalf("output does not start with a digraph header:\n%.200s", out)
+	}
+	if o, c := strings.Count(out, "{"), strings.Count(out, "}"); o == 0 || o != c {
+		t.Fatalf("unbalanced braces (%d open, %d close):\n%.200s", o, c, out)
+	}
+	if !strings.Contains(out, "->") {
+		t.Fatalf("no edges in output:\n%.200s", out)
+	}
+}
+
+// TestRunBenchmarkGraphs renders both graph kinds for a built-in benchmark.
+func TestRunBenchmarkGraphs(t *testing.T) {
+	for _, what := range []string{"cfg", "dep"} {
+		var out strings.Builder
+		if err := run(&out, "", "mcf", 100, "main", what, ""); err != nil {
+			t.Fatalf("-what %s: %v", what, err)
+		}
+		checkDot(t, out.String())
+	}
+}
+
+// TestRunAdaptedBinary round-trips an SSP-adapted binary through the textual
+// assembly (-in) and renders its CFG: the rendered graph must show the
+// attachment structure the tool injected — the stub and the p-slice blocks.
+func TestRunAdaptedBinary(t *testing.T) {
+	spec, err := workloads.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := spec.Build(spec.TestScale)
+	cfg := sim.DefaultInOrder()
+	cfg.UseTinyMem()
+	prof, err := profile.Collect(orig, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapted, _, err := ssp.Adapt(orig, prof, ssp.DefaultOptions(), "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "adapted.ssp")
+	if err := os.WriteFile(path, []byte(ir.Format(adapted)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run(&out, path, "", 0, "main", "cfg", ""); err != nil {
+		t.Fatal(err)
+	}
+	checkDot(t, out.String())
+	for _, label := range []string{"ssp_stub_0", "ssp_slice_0"} {
+		if !strings.Contains(out.String(), label) {
+			t.Errorf("adapted CFG is missing the %s block", label)
+		}
+	}
+
+	// Dependence graph of the injected slice body.
+	var dout strings.Builder
+	if err := run(&dout, path, "", 0, "main", "dep", "ssp_slice_0"); err != nil {
+		t.Fatal(err)
+	}
+	checkDot(t, dout.String())
+
+	// Error paths surface as errors, not DOT on stdout.
+	if err := run(&out, path, "", 0, "nosuchfunc", "cfg", ""); err == nil {
+		t.Error("run accepted an unknown function")
+	}
+	if err := run(&out, path, "", 0, "main", "bogus", ""); err == nil {
+		t.Error("run accepted an unknown -what")
+	}
+}

@@ -292,6 +292,145 @@ func PredecodeEquivalence(cfgs []sim.Config, p *ir.Program) error {
 	return nil
 }
 
+// FastForwardEquivalence asserts that the stall-aware fast-forward timing
+// core is an execution strategy, not a model change (the regression gate for
+// fastforward.go): for every configured machine model, a per-cycle run and a
+// fast-forwarded run of the same predecoded image agree bit-for-bit on the
+// complete result — cycles, architectural state, every cell of the Figure 10
+// breakdown and the utilization histogram, the event counters, and the full
+// per-load memory-system statistics. A stats-off pair is compared as well,
+// since detaching the cycle hook removes the pending-fill classification
+// events and exercises the shorter event set. The fast run must also pass
+// the conservation layer (run() applies it), which is what makes the bulk
+// crediting honest rather than merely internally consistent.
+func FastForwardEquivalence(cfgs []sim.Config, p *ir.Program) error {
+	img, err := ir.Link(p)
+	if err != nil {
+		return fmt.Errorf("check: link: %w", err)
+	}
+	dp := sim.Predecode(img)
+	for _, cfg := range cfgs {
+		slowCfg, fastCfg := cfg, cfg
+		slowCfg.FastForward, fastCfg.FastForward = false, true
+		slow, err := run(slowCfg, dp)
+		if err != nil {
+			return fmt.Errorf("check: fastforward %v: per-cycle: %w", cfg.Model, err)
+		}
+		fast, err := run(fastCfg, dp)
+		if err != nil {
+			return fmt.Errorf("check: fastforward %v: fast: %w", cfg.Model, err)
+		}
+		if err := sameTiming(fast, slow); err != nil {
+			return fmt.Errorf("check: fastforward %v: %w", cfg.Model, err)
+		}
+		// Stats-off pair: no cycle hook means no pending-fill events bound
+		// the jumps, so the core must stay cycle-exact on timing alone.
+		var offRes [2]*sim.Result
+		for i, c := range []sim.Config{slowCfg, fastCfg} {
+			m := sim.NewPredecoded(c, dp)
+			m.DisableStats()
+			r, err := m.Run()
+			if err != nil {
+				return fmt.Errorf("check: fastforward %v: stats-off: %w", cfg.Model, err)
+			}
+			if r.TimedOut {
+				return fmt.Errorf("check: fastforward %v: stats-off: watchdog expired", cfg.Model)
+			}
+			offRes[i] = r
+		}
+		if err := compareRegs(offRes[1].FinalRegs, offRes[0].FinalRegs, false, "stats-off fast vs per-cycle"); err != nil {
+			return fmt.Errorf("check: fastforward %v: %w", cfg.Model, err)
+		}
+		if offRes[1].Cycles != offRes[0].Cycles {
+			return fmt.Errorf("check: fastforward %v: stats-off: %d cycles vs %d", cfg.Model, offRes[1].Cycles, offRes[0].Cycles)
+		}
+		if offRes[1].MemChecksum != offRes[0].MemChecksum {
+			return fmt.Errorf("check: fastforward %v: stats-off: memory checksum %#x vs %#x", cfg.Model, offRes[1].MemChecksum, offRes[0].MemChecksum)
+		}
+	}
+	return nil
+}
+
+// sameTiming diffs two results field by field, excluding only the
+// FastForwards/FastForwardedCycles strategy counters (which describe how the
+// host got there, not where the simulated machine ended up).
+func sameTiming(fast, slow *sim.Result) error {
+	if err := compareRegs(fast.FinalRegs, slow.FinalRegs, false, "fast vs per-cycle"); err != nil {
+		return err
+	}
+	for _, c := range []struct {
+		what       string
+		fast, slow int64
+	}{
+		{"cycles", fast.Cycles, slow.Cycles},
+		{"main instrs", fast.MainInstrs, slow.MainInstrs},
+		{"spec instrs", fast.SpecInstrs, slow.SpecInstrs},
+		{"spawns", fast.Spawns, slow.Spawns},
+		{"spawns ignored", fast.SpawnsIgnored, slow.SpawnsIgnored},
+		{"chk taken", fast.ChkTaken, slow.ChkTaken},
+		{"mispredicts", fast.Mispredicts, slow.Mispredicts},
+		{"spec stores", fast.SpecStores, slow.SpecStores},
+	} {
+		if c.fast != c.slow {
+			return fmt.Errorf("%s: %d vs %d", c.what, c.fast, c.slow)
+		}
+	}
+	if fast.MemChecksum != slow.MemChecksum {
+		return fmt.Errorf("memory checksum %#x vs %#x", fast.MemChecksum, slow.MemChecksum)
+	}
+	for cat := sim.Category(0); cat < sim.NumCategories; cat++ {
+		if fast.Breakdown[cat] != slow.Breakdown[cat] {
+			return fmt.Errorf("breakdown[%v]: %d vs %d", cat, fast.Breakdown[cat], slow.Breakdown[cat])
+		}
+	}
+	if len(fast.SpecActiveHist) != len(slow.SpecActiveHist) {
+		return fmt.Errorf("utilization histogram length %d vs %d", len(fast.SpecActiveHist), len(slow.SpecActiveHist))
+	}
+	for k := range fast.SpecActiveHist {
+		if fast.SpecActiveHist[k] != slow.SpecActiveHist[k] {
+			return fmt.Errorf("utilization[%d]: %d vs %d", k, fast.SpecActiveHist[k], slow.SpecActiveHist[k])
+		}
+	}
+	if fast.Hier.Totals != slow.Hier.Totals {
+		return fmt.Errorf("memory totals %+v vs %+v", fast.Hier.Totals, slow.Hier.Totals)
+	}
+	if len(fast.Hier.ByLoad) != len(slow.Hier.ByLoad) {
+		return fmt.Errorf("per-load stat count %d vs %d", len(fast.Hier.ByLoad), len(slow.Hier.ByLoad))
+	}
+	for id, fs := range fast.Hier.ByLoad {
+		ss := slow.Hier.ByLoad[id]
+		if ss == nil || *fs != *ss {
+			return fmt.Errorf("per-load stats for load %d diverge: %+v vs %+v", id, fs, ss)
+		}
+	}
+	return nil
+}
+
+// FastForwardSeed runs the fast-forward equivalence gate on an original and
+// an adapted random program from one seed; sweeping it over N seeds is the
+// regression net for the stall-jump core (cmd/sspcheck -fastforward). The
+// adapted program matters: speculative threads exercise the round-robin
+// cursor replay and the multi-thread veto paths that a single-threaded run
+// never reaches.
+func FastForwardSeed(seed int64, cfgs []sim.Config) error {
+	p := workloads.RandomProgram(seed)
+	if err := FastForwardEquivalence(cfgs, p); err != nil {
+		return fmt.Errorf("seed %d: original: %w", seed, err)
+	}
+	prof, err := profile.Collect(p, cfgs[0])
+	if err != nil {
+		return fmt.Errorf("seed %d: profile: %w", seed, err)
+	}
+	adapted, _, err := ssp.Adapt(p, prof, ssp.DefaultOptions(), fmt.Sprintf("seed%d", seed))
+	if err != nil {
+		return fmt.Errorf("seed %d: adapt: %w", seed, err)
+	}
+	if err := FastForwardEquivalence(cfgs, adapted); err != nil {
+		return fmt.Errorf("seed %d: adapted: %w", seed, err)
+	}
+	return nil
+}
+
 // PredecodeSeed runs the predecode-equivalence gate on one random program;
 // sweeping it over N seeds is the regression net for the table-dispatch
 // execution core (cmd/sspcheck -predecode).

@@ -159,3 +159,64 @@ func TestPredecodeEquivalenceAdapted(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFastForwardEquivalenceSweep: the stall-jump timing core produces
+// bit-for-bit identical results to per-cycle simulation over a sweep of
+// seeded random programs, original and SSP-adapted, on both machine models
+// (cmd/sspcheck -fastforward widens the sweep to hundreds of seeds).
+func TestFastForwardEquivalenceSweep(t *testing.T) {
+	n := int64(6)
+	if testing.Short() {
+		n = 2
+	}
+	cfgs := Configs(true)
+	for seed := int64(0); seed < n; seed++ {
+		if err := FastForwardSeed(seed, cfgs); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFastForwardEquivalenceBenchmarks: the gate holds on all seven paper
+// benchmarks, baseline and SSP-adapted, under both machine models — the
+// exact configurations the experiment matrix runs with fast-forward enabled.
+// It also asserts the jumps actually fire on the baselines: a silently
+// disabled core would pass equivalence trivially while the experiment
+// pipeline quietly lost its speedup.
+func TestFastForwardEquivalenceBenchmarks(t *testing.T) {
+	cfgs := Configs(true)
+	for _, spec := range workloads.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			if testing.Short() && spec.Name != "mcf" {
+				t.Skip("short mode: mcf only")
+			}
+			t.Parallel()
+			orig, _ := spec.Build(spec.TestScale)
+			if err := FastForwardEquivalence(cfgs, orig); err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			prof, err := profile.Collect(orig, cfgs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			adapted, _, err := ssp.Adapt(orig, prof, ssp.DefaultOptions(), spec.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := FastForwardEquivalence(cfgs, adapted); err != nil {
+				t.Fatalf("adapted: %v", err)
+			}
+			for _, cfg := range cfgs {
+				cfg.FastForward = true
+				res, err := sim.RunProgram(cfg, orig)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.FastForwards == 0 {
+					t.Errorf("%v: fast-forward core never jumped on %s", cfg.Model, spec.Name)
+				}
+			}
+		})
+	}
+}

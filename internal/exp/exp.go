@@ -147,6 +147,11 @@ func (s *Suite) machineConfig(model sim.Model) sim.Config {
 		c.UseTinyMem()
 	}
 	c.MaxCycles = 4_000_000_000
+	// The matrix runs with the stall-jump timing core on: results are
+	// bit-for-bit identical to per-cycle simulation (check.FastForwardEquivalence
+	// gates this), and the paper-scale benchmarks spend most of their cycles
+	// fully stalled, so regeneration gets several times faster for free.
+	c.FastForward = true
 	return c
 }
 
@@ -306,11 +311,30 @@ func (s *Suite) Run(bench string, model sim.Model, v Variant) (*sim.Result, erro
 		s.runs[key] = c
 	}
 	s.mu.Unlock()
-	return c.do(func() (*sim.Result, error) { return s.simulate(key) })
+	return c.do(func() (*sim.Result, error) { return s.simulate(key, nil) })
 }
 
-// simulate computes one cell of the matrix (no caching; Run wraps it).
-func (s *Suite) simulate(key RunKey) (*sim.Result, error) {
+// RunInstrumented simulates a benchmark variant on a fresh machine with the
+// given instrumentation installed (tracers, external profilers, per-cycle
+// observers — anything that calls AttachExec or SetCycleHooks). The result is
+// computed outside the memoization layer and never enters it: an instrumented
+// rerun of a cached cell must not poison the cache (a hook can legitimately
+// change what the Result carries — DisableStats empties the breakdown — and a
+// per-cycle hook without bulk-skip support turns the fast-forward core off,
+// changing the strategy counters), and conversely a cached hit must not
+// silently skip the caller's hooks. Progress does not fire and the
+// conservation layer is not applied, since instrumentation may detach the
+// stats recorder that upholds it.
+func (s *Suite) RunInstrumented(bench string, model sim.Model, v Variant, instrument func(*sim.Machine)) (*sim.Result, error) {
+	if instrument == nil {
+		return nil, fmt.Errorf("exp: RunInstrumented without an instrument function (use Run)")
+	}
+	return s.simulate(RunKey{bench, model, v}, instrument)
+}
+
+// simulate computes one cell of the matrix (no caching; Run wraps it, and
+// RunInstrumented calls it directly with an instrument hook installer).
+func (s *Suite) simulate(key RunKey, instrument func(*sim.Machine)) (*sim.Result, error) {
 	ps, err := s.prog(key.Bench)
 	if err != nil {
 		return nil, err
@@ -331,6 +355,9 @@ func (s *Suite) simulate(key RunKey) (*sim.Result, error) {
 		}
 	}
 	m := sim.NewPredecoded(cfg, dp)
+	if instrument != nil {
+		instrument(m)
+	}
 	start := time.Now()
 	res, err := m.Run()
 	if err != nil {
@@ -341,6 +368,12 @@ func (s *Suite) simulate(key RunKey) (*sim.Result, error) {
 	}
 	if got := m.Mem.Load(workloads.ResultAddr); got != ps.want {
 		return nil, fmt.Errorf("%s: checksum %d, want %d", key, got, ps.want)
+	}
+	if instrument != nil {
+		// Instrumented runs feed the caller, not the figures: the hooks may
+		// have detached the stats recorder the conservation layer checks, and
+		// Progress only narrates fresh matrix cells.
+		return res, nil
 	}
 	// Every result that feeds a figure must be internally consistent; a
 	// violation here means a simulator accounting bug, not a bad variant.

@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"ssp/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden_stats.json from the current simulator")
+
+// goldenCell is the stat vector pinned per matrix cell. It captures the
+// numbers the paper's figures are computed from — cycles, the Figure 10
+// breakdown, instruction and spawn counts, and the memory-system totals — so
+// any timing-model change that would silently move a published number fails
+// here first (and is then either fixed or knowingly re-baselined with
+// `go test ./internal/exp -run TestGoldenStats -update`).
+type goldenCell struct {
+	Cycles      int64
+	Breakdown   [sim.NumCategories]int64
+	MainInstrs  int64
+	SpecInstrs  int64
+	Spawns      int64
+	ChkTaken    int64
+	Mispredicts int64
+
+	MemAccesses uint64
+	MemL1Hits   uint64
+	MissCycles  uint64
+	TLBMisses   uint64
+}
+
+func toGolden(res *sim.Result) goldenCell {
+	return goldenCell{
+		Cycles:      res.Cycles,
+		Breakdown:   res.Breakdown,
+		MainInstrs:  res.MainInstrs,
+		SpecInstrs:  res.SpecInstrs,
+		Spawns:      res.Spawns,
+		ChkTaken:    res.ChkTaken,
+		Mispredicts: res.Mispredicts,
+		MemAccesses: res.Hier.Totals.Accesses,
+		MemL1Hits:   res.Hier.Totals.Hits[0][0],
+		MissCycles:  res.Hier.Totals.MissCycles,
+		TLBMisses:   res.Hier.Totals.TLBMisses,
+	}
+}
+
+// TestGoldenStats pins the full stat vector of every benchmark under both
+// machine models, baseline and SSP-adapted, at test scale. The workloads and
+// the simulator are deterministic, so an exact comparison is the right
+// sensitivity: a one-cycle drift anywhere in the timing model shows up as a
+// named cell with a before/after diff rather than as a mysteriously shifted
+// figure three PRs later.
+func TestGoldenStats(t *testing.T) {
+	got := make(map[string]goldenCell)
+	for _, bench := range Benchmarks() {
+		for _, model := range []sim.Model{sim.InOrder, sim.OOO} {
+			for _, v := range []Variant{VarBase, VarSSP} {
+				res, err := suite.Run(bench, model, v)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", bench, model, v, err)
+				}
+				got[fmt.Sprintf("%s/%s/%s", bench, model, v)] = toGolden(res)
+			}
+		}
+	}
+
+	path := filepath.Join("testdata", "golden_stats.json")
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d cells", path, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the baseline)", err)
+	}
+	var want map[string]goldenCell
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	var keys []string
+	for k := range want {
+		keys = append(keys, k)
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g, gok := got[k]
+		w, wok := want[k]
+		switch {
+		case !gok:
+			t.Errorf("%s: in golden file but no longer produced", k)
+		case !wok:
+			t.Errorf("%s: produced but missing from golden file (run -update)", k)
+		case !reflect.DeepEqual(g, w):
+			t.Errorf("%s: stats drifted (run -update only if the change is intended)\n got %+v\nwant %+v", k, g, w)
+		}
+	}
+}

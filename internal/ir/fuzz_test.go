@@ -1,0 +1,47 @@
+package ir_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ssp/internal/ir"
+)
+
+// FuzzParseAsmRoundTrip asserts the textual ISA's core contract over
+// arbitrary input: whatever Parse accepts, Format must print back in a form
+// Parse accepts again, and that printed form must be a fixed point (printing
+// the reparse yields the same text). Link may reject a parseable program —
+// undefined labels, missing main — but must never panic. The corpus programs
+// and a few hand-written fragments seed the mutator; go test runs the saved
+// corpus as regression inputs, and `go test -fuzz=FuzzParseAsmRoundTrip`
+// explores from there.
+func FuzzParseAsmRoundTrip(f *testing.F) {
+	for _, file := range []string{"figure3.ssp", "ssp_attachment.ssp", "fp_kernel.ssp"} {
+		src, err := os.ReadFile(filepath.Join("testdata", file))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Add("program entry=main\nfunc main formals=0 {\nentry:\n\thalt\n}\n")
+	f.Add("program entry=main\nfunc main formals=0 {\nentry:\n\tmovi r1 = 7\n\t(p1) add r2 = r1, r1\n\tst8 [r2+0] = r1\n\thalt\n}\n")
+	f.Add("program entry=main\nfunc main formals=0 {\nL:\n\tld8 r3 = [r4+8], 16\n\tchk.c stub\n\tbr L\nstub:\n\tliw [0] = r3\n\tspawn slice\n\thalt\nslice:\n\tlir r40 = [0]\n\tlfetch [r40+16]\n\tkill\n}\ndata {\n\t0x2000: 7\n}\n")
+	f.Add("# comment\nprogram entry=f\nfunc f formals=1 {\nb:\n\tfadd f2 = f3, f4\n\tret b0\n}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ir.Parse(src)
+		if err != nil {
+			return // rejecting garbage is fine; only accepted input has obligations
+		}
+		text := ir.Format(p)
+		p2, err := ir.Parse(text)
+		if err != nil {
+			t.Fatalf("formatted output does not reparse: %v\ninput:\n%s\nformatted:\n%s", err, src, text)
+		}
+		if text2 := ir.Format(p2); text2 != text {
+			t.Fatalf("format is not a fixed point\nfirst:\n%s\nsecond:\n%s", text, text2)
+		}
+		// Link rejects incomplete programs with an error, never a panic.
+		_, _ = ir.Link(p)
+	})
+}

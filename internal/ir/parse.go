@@ -78,6 +78,9 @@ func (pr *parser) line(line string) error {
 		pr.bb = nil
 		return nil
 	case line == "data {":
+		if pr.p == nil {
+			return fmt.Errorf("'data' before 'program'")
+		}
 		pr.inData = true
 		pr.fn = nil
 		return nil

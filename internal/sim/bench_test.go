@@ -74,3 +74,17 @@ func BenchmarkInOrder(b *testing.B) { benchEngine(b, DefaultInOrder()) }
 
 // BenchmarkOOO measures the 16-stage out-of-order pipeline model.
 func BenchmarkOOO(b *testing.B) { benchEngine(b, DefaultOOO()) }
+
+func withFF(cfg Config) Config {
+	cfg.FastForward = true
+	return cfg
+}
+
+// BenchmarkInOrderFF measures the in-order model with the stall-aware
+// fast-forward timing core on: bit-identical results (the
+// check.FastForwardEquivalence gate), far fewer simulated-one-at-a-time
+// cycles on this memory-bound workload.
+func BenchmarkInOrderFF(b *testing.B) { benchEngine(b, withFF(DefaultInOrder())) }
+
+// BenchmarkOOOFF measures the out-of-order model with fast-forward on.
+func BenchmarkOOOFF(b *testing.B) { benchEngine(b, withFF(DefaultOOO())) }

@@ -91,6 +91,18 @@ type Config struct {
 	// Profile enables per-PC execution counts and indirect-call edge
 	// capture (the profiling pass of Figure 1).
 	Profile bool
+
+	// FastForward enables the stall-aware fast-forward timing core
+	// (fastforward.go): when the machine is fully stalled — no thread can
+	// issue, dispatch, or retire anything until a known future cycle — the
+	// engine computes the next-event cycle from the pending completion
+	// times and jumps there in one step, bulk-crediting the skipped cycles
+	// into the Breakdown and SpecActiveHist accounting. The jump is
+	// semantically inert: check.FastForwardEquivalence asserts bit-for-bit
+	// identical results with it on and off. Machines that spend most
+	// cycles stalled on memory (the paper's Figure 10 machines) simulate
+	// several times faster.
+	FastForward bool
 }
 
 // UseTinyMem shrinks the cache hierarchy to the scaled-down test machine

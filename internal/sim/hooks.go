@@ -38,14 +38,42 @@ type CycleHooks interface {
 	Cycle(m *Machine, main *Thread, s CycleStats)
 }
 
+// CycleSkipper is the optional bulk extension of CycleHooks consumed by the
+// fast-forward timing core (fastforward.go). When the machine is fully
+// stalled it does not simulate the dead cycles one at a time; instead it
+// calls Skip once with the CycleStats every skipped cycle would have
+// produced (nothing issues during a full stall, so they are all identical)
+// and the number of cycles skipped. A hook that implements Cycle but not
+// Skip — a per-cycle tracer, say — automatically disables fast-forwarding
+// on its machine: the engines only jump when the installed hook understands
+// bulk crediting, so per-cycle observers never miss a cycle.
+type CycleSkipper interface {
+	Skip(m *Machine, main *Thread, s CycleStats, cycles int64)
+}
+
 // statsHooks is the default CycleHooks: it maintains Result.Breakdown and
 // Result.SpecActiveHist exactly as the engines did before the hook layer
-// existed, so default-configured results are bit-identical.
+// existed, so default-configured results are bit-identical. Its Skip
+// implementation credits a fast-forwarded stall in bulk: k cycles land in
+// the same breakdown category and the same utilization bucket that k
+// per-cycle calls would have produced, so every conservation invariant
+// (sum == Cycles) holds exactly across jumps.
 type statsHooks struct{}
 
 func (statsHooks) Cycle(m *Machine, main *Thread, s CycleStats) {
 	m.accountCycle(main, s.IssuedMain, s.StalledOnLoad, s.StallLevel)
 	m.recordUtilization()
+}
+
+func (statsHooks) Skip(m *Machine, main *Thread, s CycleStats, cycles int64) {
+	m.accountCycles(main, s.IssuedMain, s.StalledOnLoad, s.StallLevel, cycles)
+	n := 0
+	for _, t := range m.threads {
+		if t.active && t.spec {
+			n++
+		}
+	}
+	m.res.SpecActiveHist[n] += cycles
 }
 
 // profileHooks maintains Result.PCCount and Result.CallEdges when
@@ -100,13 +128,18 @@ func (m *Machine) attachExec(h ExecHooks) {
 func (m *Machine) AttachExec(h ExecHooks) { m.attachExec(h) }
 
 // SetCycleHooks replaces the per-cycle hook. Passing nil disables per-cycle
-// instrumentation entirely (see DisableStats).
-func (m *Machine) SetCycleHooks(h CycleHooks) { m.cycle = h }
+// instrumentation entirely (see DisableStats). The machine's cached
+// CycleSkipper view is refreshed alongside: a replacement hook without bulk
+// Skip support turns the fast-forward core off for this machine.
+func (m *Machine) SetCycleHooks(h CycleHooks) {
+	m.cycle = h
+	m.skip, _ = h.(CycleSkipper)
+}
 
 // DisableStats detaches the default per-cycle stats recorder. The run gets
 // faster; the Result's Breakdown and SpecActiveHist stay zero and no longer
 // satisfy check.Conservation — use only for throughput measurements.
-func (m *Machine) DisableStats() { m.cycle = nil }
+func (m *Machine) DisableStats() { m.SetCycleHooks(nil) }
 
 // Now returns the current simulated cycle, for hook implementations.
 func (m *Machine) Now() int64 { return m.now }

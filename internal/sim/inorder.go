@@ -13,7 +13,7 @@ import (
 // bundles per cycle from at most two threads.
 func (m *Machine) runInOrder() {
 	main := m.main()
-	var sel [8]*Thread
+	var sel [maxSelect]*Thread
 	for !m.mainDone {
 		if m.now >= m.Cfg.MaxCycles {
 			m.res.TimedOut = true
@@ -40,12 +40,16 @@ func (m *Machine) runInOrder() {
 		slots := m.Cfg.IssueWidth / n
 
 		issuedMain := 0
+		issuedAny := false
 		stallLevel := mem.Level(0)
 		stalledOnLoad := false
 		for ti := 0; ti < n; ti++ {
 			t := sel[ti]
 			for s := 0; s < slots; s++ {
 				issued, cont, lvl, onLoad := m.issueInOrder(t, &intU, &memU, &brU, &fpU)
+				if issued {
+					issuedAny = true
+				}
 				if t == main {
 					if issued {
 						issuedMain++
@@ -61,18 +65,31 @@ func (m *Machine) runInOrder() {
 				break
 			}
 		}
+		stats := CycleStats{
+			IssuedMain:    issuedMain,
+			StalledOnLoad: stalledOnLoad,
+			StallLevel:    stallLevel,
+		}
 		if m.cycle != nil {
-			m.cycle.Cycle(m, main, CycleStats{
-				IssuedMain:    issuedMain,
-				StalledOnLoad: stalledOnLoad,
-				StallLevel:    stallLevel,
-			})
+			m.cycle.Cycle(m, main, stats)
+		}
+		if m.Cfg.FastForward && !issuedAny && !m.mainDone {
+			m.fastForwardInOrder(main, stats)
 		}
 	}
 }
 
 // accountCycle classifies the cycle for the Figure 10 breakdown.
 func (m *Machine) accountCycle(main *Thread, issuedMain int, stalledOnLoad bool, stallLevel mem.Level) {
+	m.accountCycles(main, issuedMain, stalledOnLoad, stallLevel, 1)
+}
+
+// accountCycles classifies k consecutive identical cycles in one step — the
+// bulk form behind both per-cycle accounting (k=1) and fast-forward stall
+// crediting. The fast-forward core guarantees the classification is constant
+// over the k cycles: it never jumps across a completion of one of main's
+// pending fills, so the deepest outstanding level cannot change mid-span.
+func (m *Machine) accountCycles(main *Thread, issuedMain int, stalledOnLoad bool, stallLevel mem.Level, k int64) {
 	var cat Category
 	switch {
 	case issuedMain > 0:
@@ -92,7 +109,7 @@ func (m *Machine) accountCycle(main *Thread, issuedMain int, stalledOnLoad bool,
 			cat = CatOther
 		}
 	}
-	m.res.Breakdown[cat]++
+	m.res.Breakdown[cat] += k
 }
 
 // missCategory maps the level that satisfies an outstanding load to the

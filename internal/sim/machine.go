@@ -111,9 +111,12 @@ type Machine struct {
 	// exec and cycle are the instrumentation hook points (hooks.go). exec
 	// is nil unless a tracer/profiler is attached; cycle defaults to the
 	// stats recorder behind the Figure 10 breakdown and the utilization
-	// histogram, and can be detached for pure-throughput runs.
+	// histogram, and can be detached for pure-throughput runs. skip caches
+	// cycle's CycleSkipper view (nil when cycle cannot bulk-credit), the
+	// gate the fast-forward core checks before jumping.
 	exec  ExecHooks
 	cycle CycleHooks
+	skip  CycleSkipper
 
 	// noSpec suppresses all speculative-thread creation: chk.c never takes
 	// its exception and spawn requests are counted but ignored. It is the
@@ -159,7 +162,7 @@ func NewPredecoded(cfg Config, dp *decode.Program) *Machine {
 	for i := range m.threads {
 		m.threads[i] = &Thread{idx: i, resumePC: -1, lastChkTaken: -1 << 40}
 	}
-	m.cycle = statsHooks{}
+	m.SetCycleHooks(statsHooks{})
 	if cfg.Profile {
 		m.res.PCCount = make([]uint64, len(dp.Code))
 		m.res.CallEdges = make(map[int]map[int]uint64)

@@ -75,7 +75,7 @@ func (w *window) compact() {
 func (m *Machine) runOOO() {
 	main := m.main()
 	main.win = newWindow(m.Cfg.ROBSize)
-	var sel [8]*Thread
+	var sel [maxSelect]*Thread
 
 	for !m.mainDone {
 		if m.now >= m.Cfg.MaxCycles {
@@ -86,6 +86,7 @@ func (m *Machine) runOOO() {
 
 		// Retire; a drained speculative thread that executed kill frees
 		// its context here (retirement-stage termination).
+		retired := false
 		for _, t := range m.threads {
 			if !t.active || t.win == nil {
 				continue
@@ -97,6 +98,7 @@ func (m *Machine) runOOO() {
 					break
 				}
 				w.head++
+				retired = true
 			}
 			w.compact()
 			if w.haltAfterDrain && w.size() == 0 && t.spec {
@@ -122,27 +124,33 @@ func (m *Machine) runOOO() {
 
 		// Issue (wakeup/select).
 		intU, memU, brU, fpU := m.Cfg.IntUnits, m.Cfg.MemPorts, m.Cfg.BrUnits, m.Cfg.FPUnits
-		issuedMain := 0
+		issuedMain, issuedTotal := 0, 0
 		for ti := 0; ti < n; ti++ {
 			t := sel[ti]
 			issued := m.issueOOO(t, slots, &intU, &memU, &brU, &fpU)
+			issuedTotal += issued
 			if t == main {
 				issuedMain = issued
 			}
 		}
 
 		// Dispatch (decode/rename + architectural execution).
+		dispatched := 0
 		for ti := 0; ti < n; ti++ {
 			t := sel[ti]
-			m.dispatchOOO(t, slots)
+			dispatched += m.dispatchOOO(t, slots)
 		}
 
 		// Main-thread completion: halt dispatched and window drained.
 		if main.win.haltAfterDrain && main.win.size() == 0 {
 			m.mainDone = true
 		}
+		stats := CycleStats{IssuedMain: issuedMain}
 		if m.cycle != nil {
-			m.cycle.Cycle(m, main, CycleStats{IssuedMain: issuedMain})
+			m.cycle.Cycle(m, main, stats)
+		}
+		if m.Cfg.FastForward && !retired && issuedTotal == 0 && dispatched == 0 && !m.mainDone {
+			m.fastForwardOOO(main, stats)
 		}
 	}
 }
@@ -225,19 +233,19 @@ func (m *Machine) issueOOO(t *Thread, slots int, intU, memU, brU, fpU *int) int 
 }
 
 // dispatchOOO decodes, renames, and architecturally executes up to slots
-// instructions in program order.
-func (m *Machine) dispatchOOO(t *Thread, slots int) {
+// instructions in program order, returning how many it dispatched.
+func (m *Machine) dispatchOOO(t *Thread, slots int) int {
 	if !t.active || t.win == nil {
-		return
+		return 0
 	}
 	for k := 0; k < slots; k++ {
 		w := t.win
 		if t.frontStallUntil > m.now || w.blocked != nil || w.haltAfterDrain || w.full() {
-			return
+			return k
 		}
 		if w.waitDrain {
 			if w.size() > 0 {
-				return
+				return k
 			}
 			w.waitDrain = false
 		}
@@ -293,11 +301,12 @@ func (m *Machine) dispatchOOO(t *Thread, slots int) {
 				m.res.MainKilled = true
 			}
 			w.haltAfterDrain = true
-			return
+			return k + 1
 		}
 		t.pc = ef.nextPC
 		if ef.nextPC != pc+1 {
-			return // control transfer ends the fetch bundle
+			return k + 1 // control transfer ends the fetch bundle
 		}
 	}
+	return slots
 }

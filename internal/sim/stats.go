@@ -83,6 +83,15 @@ type Result struct {
 	// (how much of the SMT machine SSP actually uses).
 	SpecActiveHist []int64
 
+	// FastForwards counts stall jumps taken by the fast-forward timing
+	// core and FastForwardedCycles the cycles those jumps skipped (cycles
+	// credited to the breakdown in bulk instead of being simulated one at
+	// a time). Both are zero when Config.FastForward is off. They describe
+	// the host-side execution strategy, not the simulated machine, so the
+	// equivalence gates in internal/check deliberately exclude them.
+	FastForwards        int64
+	FastForwardedCycles int64
+
 	// PCCount is per-PC main-thread execution counts when profiling.
 	PCCount []uint64
 	// CallEdges maps an indirect call instruction ID to the entry PCs it

@@ -1,0 +1,51 @@
+package ssp
+
+import (
+	"testing"
+
+	"ssp/internal/profile"
+	"ssp/internal/workloads"
+)
+
+// FuzzAdaptRandomProgram drives the whole adaptation tool from a fuzzed seed:
+// the input bytes pick a workloads.RandomProgram and an option mix, and the
+// property is the tool's total-correctness contract — Adapt either refuses
+// with a clean error or produces a binary that passes the static attachment
+// verifier (Adapt runs Validate and VerifyAttachments internally, so a
+// non-error return that would fail them is already a bug; this target asserts
+// it explicitly anyway, and that the tool never panics). The dynamic half of
+// the contract (identical architectural state) is covered per seed by
+// check.Seed, which is too slow for a fuzz loop.
+func FuzzAdaptRandomProgram(f *testing.F) {
+	for _, seed := range []int64{0, 1, 7, 42, 1000} {
+		f.Add(seed, uint8(0))
+		f.Add(seed, uint8(0xff))
+	}
+	f.Add(int64(-3), uint8(0b10101))
+	f.Fuzz(func(t *testing.T, seed int64, optBits uint8) {
+		p := workloads.RandomProgram(seed)
+		prof, err := profile.Collect(p, tinyConfig())
+		if err != nil {
+			t.Fatalf("seed %d: profile of a generated program failed: %v", seed, err)
+		}
+		opt := DefaultOptions()
+		opt.Chaining = optBits&1 != 0
+		opt.LoopRotation = optBits&2 != 0
+		opt.CondPrediction = optBits&4 != 0
+		opt.SpeculativeSlicing = optBits&8 != 0
+		opt.TriggerHoisting = optBits&16 != 0
+		if optBits&32 != 0 {
+			opt.ChainUnroll = 2 + int(optBits>>6) // 2 or 3
+		}
+		adapted, _, err := Adapt(p, prof, opt, "fuzz")
+		if err != nil {
+			return // a clean refusal satisfies the contract
+		}
+		if err := adapted.Validate(); err != nil {
+			t.Fatalf("seed %d optBits %#x: adapted binary fails Validate: %v", seed, optBits, err)
+		}
+		if err := VerifyAttachments(adapted); err != nil {
+			t.Fatalf("seed %d optBits %#x: adapted binary fails VerifyAttachments: %v", seed, optBits, err)
+		}
+	})
+}
