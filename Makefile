@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check fmt vet test race bench bench-smoke sspcheck predecode-sweep fastforward-sweep fuzz-smoke cover
+.PHONY: check fmt vet test race alloc-gate bench bench-diff bench-smoke sspcheck predecode-sweep fastforward-sweep hotpath-sweep fuzz-smoke cover
 
 # check is the full gate: formatting, vet, the test suite under the race
 # detector (the concurrent experiment engine is exercised by internal/exp's
-# determinism and coalescing tests), the differential/metamorphic fuzz sweep
-# over 32 fixed seeds (internal/check), the 500-seed fast-forward-equivalence
-# sweep, and a short native-fuzzing smoke of the parser and the adaptation
-# tool.
-check: fmt vet race sspcheck fastforward-sweep fuzz-smoke
+# determinism and coalescing tests), the allocation-regression gate (the race
+# run skips it — instrumentation allocates), the differential/metamorphic
+# fuzz sweep over 32 fixed seeds (internal/check), the 500-seed fast-forward
+# equivalence sweep, the 200-seed hot-path/machine-reuse equivalence sweep,
+# and a short native-fuzzing smoke of the parser and the adaptation tool.
+check: fmt vet race alloc-gate sspcheck fastforward-sweep hotpath-sweep fuzz-smoke
 
 # sspcheck runs 32 seeded random programs through all three validation
 # layers; reproduce a reported failure with: go run ./cmd/sspcheck -seed N
@@ -26,6 +27,20 @@ predecode-sweep:
 # SSP-adapted program of every seed, under both machine models.
 fastforward-sweep:
 	$(GO) run ./cmd/sspcheck -seeds 500 -fastforward
+
+# hotpath-sweep is the regression gate for the flattened hot-path data layout
+# and the exp.Suite machine pool: a single machine Reset and reused across
+# models and programs must agree bit-for-bit with fresh machines — cycles,
+# breakdowns, histograms, and per-load memory statistics — on the original
+# and SSP-adapted program of every seed.
+hotpath-sweep:
+	$(GO) run ./cmd/sspcheck -seeds 200 -hotpath
+
+# alloc-gate runs the allocation-regression tests without the race detector
+# (whose instrumentation allocates): the per-access hot path must stay at
+# exactly zero allocations, warm engine reruns under their hard ceilings.
+alloc-gate:
+	$(GO) test -count=1 -run 'Allocs' ./internal/sim/...
 
 # fuzz-smoke gives each native fuzz target a short budget beyond its checked-in
 # corpus; a real campaign uses -fuzztime as long as you can afford.
@@ -53,11 +68,30 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the experiment-level benchmarks (repo root) and the engine
+# microbenchmarks (internal/sim, internal/sim/mem) with allocation counts —
+# the numbers BENCH_sim.json tracks. Save a run with: make bench | tee out.txt
 bench:
 	$(GO) test -bench=. -benchmem .
+	$(GO) test -run '^$$' -bench=. -benchmem ./internal/sim/...
+
+# bench-diff compares two saved `make bench` outputs with benchstat.
+# Usage: make bench BENCH_OUT=/tmp/before.txt ... make bench-diff \
+#        BENCH_BEFORE=/tmp/before.txt BENCH_AFTER=/tmp/after.txt
+BENCH_BEFORE ?= bench.before.txt
+BENCH_AFTER ?= bench.after.txt
+bench-diff:
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(BENCH_BEFORE) $(BENCH_AFTER); \
+	else \
+		echo "benchstat not installed; falling back to side-by-side grep"; \
+		echo "--- $(BENCH_BEFORE)"; grep '^Benchmark' $(BENCH_BEFORE); \
+		echo "--- $(BENCH_AFTER)"; grep '^Benchmark' $(BENCH_AFTER); \
+	fi
 
 # bench-smoke runs each internal/sim microbenchmark for a single iteration —
 # just enough to catch an execution-core change that breaks or pathologically
-# slows the benchmarks, without CI-grade noise-sensitive timing.
+# slows the benchmarks (or starts allocating on the hot path: -benchmem keeps
+# allocs/op visible in the CI log), without CI-grade noise-sensitive timing.
 bench-smoke:
-	$(GO) test ./internal/sim -run '^$$' -bench . -benchtime 1x
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./internal/sim/...

@@ -143,7 +143,7 @@ func printStats(cfg sim.Config, res *sim.Result, loads bool) {
 			s  *mem.LoadStat
 		}
 		var rows []row
-		for id, s := range res.Hier.ByLoad {
+		for id, s := range res.Hier.ByLoad() {
 			rows = append(rows, row{id, s})
 		}
 		sort.Slice(rows, func(i, j int) bool { return rows[i].s.MissCycles > rows[j].s.MissCycles })

@@ -12,6 +12,7 @@
 //	sspcheck -seeds 64 -full   # Table 1 memory system instead of tiny
 //	sspcheck -seeds 16 -predecode    # predecode-equivalence sweep instead
 //	sspcheck -seeds 500 -fastforward # fast-forward-equivalence sweep instead
+//	sspcheck -seeds 200 -hotpath     # hot-path/machine-reuse sweep instead
 //
 // A violation prints its seed and exits non-zero; rerunning with -seed N
 // reproduces it exactly.
@@ -34,6 +35,7 @@ type options struct {
 	full         bool
 	predecode    bool
 	fastforward  bool
+	hotpath      bool
 	verbose      bool
 }
 
@@ -51,6 +53,9 @@ func sweep(o options, out, errw io.Writer) (total int64, failures int) {
 	case o.fastforward:
 		checkSeed = check.FastForwardSeed
 		layers = "the fast-forward-equivalence layer"
+	case o.hotpath:
+		checkSeed = check.HotPathSeed
+		layers = "the hot-path-equivalence layer"
 	}
 
 	lo, hi := o.start, o.start+o.seeds
@@ -82,6 +87,7 @@ func main() {
 	flag.BoolVar(&o.full, "full", false, "use the full Table 1 memory system instead of the test sizing")
 	flag.BoolVar(&o.predecode, "predecode", false, "run the predecode-equivalence layer per seed instead of the differential/metamorphic layers")
 	flag.BoolVar(&o.fastforward, "fastforward", false, "run the fast-forward-equivalence layer per seed instead of the differential/metamorphic layers")
+	flag.BoolVar(&o.hotpath, "hotpath", false, "run the hot-path-equivalence layer (machine reuse vs fresh machines) per seed instead of the differential/metamorphic layers")
 	flag.BoolVar(&o.verbose, "v", false, "print each seed as it passes")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProf := flag.String("memprofile", "", "write an allocation profile of the sweep to this file")

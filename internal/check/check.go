@@ -70,18 +70,25 @@ func hasSSP(p *ir.Program) bool {
 // conservation layer to its result. Callers predecode once and share the
 // program across every engine and configuration of a check.
 func run(cfg sim.Config, dp *decode.Program) (*sim.Result, error) {
-	res, err := sim.NewPredecoded(cfg, dp).Run()
+	return runMachine(sim.NewPredecoded(cfg, dp))
+}
+
+// runMachine executes an already-built machine and applies the conservation
+// layer, for callers that manage machine construction themselves (the
+// hot-path gate reuses one machine across runs via Machine.Reset).
+func runMachine(m *sim.Machine) (*sim.Result, error) {
+	res, err := m.Run()
 	if err != nil {
 		return nil, err
 	}
 	if res.TimedOut {
-		return nil, fmt.Errorf("%v: watchdog expired after %d cycles", cfg.Model, res.Cycles)
+		return nil, fmt.Errorf("%v: watchdog expired after %d cycles", m.Cfg.Model, res.Cycles)
 	}
 	if res.MainKilled {
-		return nil, fmt.Errorf("%v: main thread executed thread_kill_self", cfg.Model)
+		return nil, fmt.Errorf("%v: main thread executed thread_kill_self", m.Cfg.Model)
 	}
 	if err := Conservation(res); err != nil {
-		return nil, fmt.Errorf("%v: %w", cfg.Model, err)
+		return nil, fmt.Errorf("%v: %w", m.Cfg.Model, err)
 	}
 	return res, nil
 }
@@ -195,7 +202,7 @@ func Conservation(res *sim.Result) error {
 			return err
 		}
 		var perLoad uint64
-		for id, s := range res.Hier.ByLoad {
+		for id, s := range res.Hier.ByLoad() {
 			if err := reconcile(s, fmt.Sprintf("load %d", id)); err != nil {
 				return err
 			}
@@ -394,11 +401,12 @@ func sameTiming(fast, slow *sim.Result) error {
 	if fast.Hier.Totals != slow.Hier.Totals {
 		return fmt.Errorf("memory totals %+v vs %+v", fast.Hier.Totals, slow.Hier.Totals)
 	}
-	if len(fast.Hier.ByLoad) != len(slow.Hier.ByLoad) {
-		return fmt.Errorf("per-load stat count %d vs %d", len(fast.Hier.ByLoad), len(slow.Hier.ByLoad))
+	fastLoads, slowLoads := fast.Hier.ByLoad(), slow.Hier.ByLoad()
+	if len(fastLoads) != len(slowLoads) {
+		return fmt.Errorf("per-load stat count %d vs %d", len(fastLoads), len(slowLoads))
 	}
-	for id, fs := range fast.Hier.ByLoad {
-		ss := slow.Hier.ByLoad[id]
+	for id, fs := range fastLoads {
+		ss := slowLoads[id]
 		if ss == nil || *fs != *ss {
 			return fmt.Errorf("per-load stats for load %d diverge: %+v vs %+v", id, fs, ss)
 		}
@@ -427,6 +435,91 @@ func FastForwardSeed(seed int64, cfgs []sim.Config) error {
 	}
 	if err := FastForwardEquivalence(cfgs, adapted); err != nil {
 		return fmt.Errorf("seed %d: adapted: %w", seed, err)
+	}
+	return nil
+}
+
+// HotPathEquivalence asserts that the flattened hot-path data layout (radix
+// page table, dense per-load stats, ring-buffer windows) and Machine.Reset
+// reuse are invisible in results (the regression gate for the map-free
+// memory/stats refactor): for every configured machine model and every given
+// program, a run on a single machine that is Reset and reused across all
+// (model, program) cells — crossing model switches, program switches, and
+// dirty caches/predictors/stat tables — must agree bit-for-bit with a run on
+// a freshly constructed machine: cycles, breakdowns, histograms, event
+// counters, and the complete per-load memory statistics (sameTiming). Every
+// run also passes the conservation layer, so the dense stat table has to
+// reconcile exactly like the map it replaced.
+func HotPathEquivalence(cfgs []sim.Config, progs ...*ir.Program) error {
+	dps := make([]*decode.Program, len(progs))
+	for i, p := range progs {
+		img, err := ir.Link(p)
+		if err != nil {
+			return fmt.Errorf("check: link program %d: %w", i, err)
+		}
+		dps[i] = sim.Predecode(img)
+	}
+	fresh := make([][]*sim.Result, len(cfgs))
+	for ci, cfg := range cfgs {
+		fresh[ci] = make([]*sim.Result, len(dps))
+		for pi, dp := range dps {
+			r, err := run(cfg, dp)
+			if err != nil {
+				return fmt.Errorf("check: hotpath %v: fresh program %d: %w", cfg.Model, pi, err)
+			}
+			fresh[ci][pi] = r
+		}
+	}
+	// One machine walks every cell in sequence; each Reset must scrub the
+	// previous cell's state (pages, caches, TLB, predictor, windows, stats)
+	// without losing the layout reuse the hot path depends on.
+	var m *sim.Machine
+	reused := func(ci, pi int) error {
+		cfg, dp := cfgs[ci], dps[pi]
+		if m == nil {
+			m = sim.NewPredecoded(cfg, dp)
+		} else {
+			m.Reset(cfg, dp)
+		}
+		r, err := runMachine(m)
+		if err != nil {
+			return fmt.Errorf("check: hotpath %v: reused program %d: %w", cfg.Model, pi, err)
+		}
+		if err := sameTiming(r, fresh[ci][pi]); err != nil {
+			return fmt.Errorf("check: hotpath %v: reused machine, program %d: %w", cfg.Model, pi, err)
+		}
+		return nil
+	}
+	for ci := range cfgs {
+		for pi := range dps {
+			if err := reused(ci, pi); err != nil {
+				return err
+			}
+		}
+	}
+	// Close the loop: Reset from the last cell back to the first, so the
+	// sweep also covers the final-model -> first-model transition.
+	return reused(0, 0)
+}
+
+// HotPathSeed runs the hot-path equivalence gate on an original and an
+// adapted random program from one seed; sweeping it over N seeds is the
+// regression net for the flattened data layout and machine pooling
+// (cmd/sspcheck -hotpath). The adapted program matters: prefetches exercise
+// the ring-buffer accuracy window and spawns exercise per-thread buffer
+// reuse, which the original program never touches.
+func HotPathSeed(seed int64, cfgs []sim.Config) error {
+	p := workloads.RandomProgram(seed)
+	prof, err := profile.Collect(p, cfgs[0])
+	if err != nil {
+		return fmt.Errorf("seed %d: profile: %w", seed, err)
+	}
+	adapted, _, err := ssp.Adapt(p, prof, ssp.DefaultOptions(), fmt.Sprintf("seed%d", seed))
+	if err != nil {
+		return fmt.Errorf("seed %d: adapt: %w", seed, err)
+	}
+	if err := HotPathEquivalence(cfgs, p, adapted); err != nil {
+		return fmt.Errorf("seed %d: %w", seed, err)
 	}
 	return nil
 }

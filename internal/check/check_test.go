@@ -109,7 +109,7 @@ func TestConservationDetectsTampering(t *testing.T) {
 		{"histogram", func(r *sim.Result) { r.SpecActiveHist[0]-- }},
 		{"cache totals", func(r *sim.Result) { r.Hier.Totals.Accesses++ }},
 		{"per-load", func(r *sim.Result) {
-			for _, s := range r.Hier.ByLoad {
+			for _, s := range r.Hier.ByLoad() {
 				s.Hits[0][0]++
 				break
 			}
@@ -174,6 +174,54 @@ func TestFastForwardEquivalenceSweep(t *testing.T) {
 		if err := FastForwardSeed(seed, cfgs); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestHotPathEquivalenceSweep: a single machine Reset and reused across
+// models and programs produces results bit-for-bit identical to fresh
+// machines, over a sweep of seeded random programs, original and SSP-adapted
+// (the regression gate for the flattened hot-path data layout and the
+// exp.Suite machine pool; cmd/sspcheck -hotpath widens the sweep to 200+
+// seeds).
+func TestHotPathEquivalenceSweep(t *testing.T) {
+	n := int64(6)
+	if testing.Short() {
+		n = 2
+	}
+	cfgs := Configs(true)
+	for seed := int64(0); seed < n; seed++ {
+		if err := HotPathSeed(seed, cfgs); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestHotPathEquivalenceBenchmarks: the hot-path gate holds across the full
+// experiment matrix surface — all seven paper benchmarks, baseline and
+// SSP-adapted, under both machine models — driving every cell through one
+// reused machine exactly as exp.Suite's pool does.
+func TestHotPathEquivalenceBenchmarks(t *testing.T) {
+	cfgs := Configs(true)
+	for _, spec := range workloads.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			if testing.Short() && spec.Name != "mcf" {
+				t.Skip("short mode: mcf only")
+			}
+			t.Parallel()
+			orig, _ := spec.Build(spec.TestScale)
+			prof, err := profile.Collect(orig, cfgs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			adapted, _, err := ssp.Adapt(orig, prof, ssp.DefaultOptions(), spec.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := HotPathEquivalence(cfgs, orig, adapted); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

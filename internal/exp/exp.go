@@ -25,6 +25,7 @@ import (
 	"ssp/internal/profile"
 	"ssp/internal/sim"
 	"ssp/internal/sim/decode"
+	"ssp/internal/sim/mem"
 	"ssp/internal/ssp"
 	"ssp/internal/workloads"
 )
@@ -93,7 +94,27 @@ type Suite struct {
 	progs map[string]*cell[*progSet]
 	decs  map[decodeKey]*cell[*decode.Program]
 	runs  map[RunKey]*cell[*sim.Result]
+
+	// pool recycles machines across matrix cells: Machine.Reset rebinds a
+	// machine to a new (config, program) while reusing its memory pages,
+	// hierarchy, predictor tables, and per-thread buffers. Safe because Run
+	// detaches each Result's statistics from the machine.
+	pool sync.Pool
 }
+
+// getMachine takes a pooled machine rebound to (cfg, dp), or builds one.
+func (s *Suite) getMachine(cfg sim.Config, dp *decode.Program) *sim.Machine {
+	if v := s.pool.Get(); v != nil {
+		m := v.(*sim.Machine)
+		m.Reset(cfg, dp)
+		return m
+	}
+	return sim.NewPredecoded(cfg, dp)
+}
+
+// putMachine returns a machine to the pool once its Result has been
+// extracted and verified.
+func (s *Suite) putMachine(m *sim.Machine) { s.pool.Put(m) }
 
 // decodeKey identifies one binary of the matrix: a benchmark adapted as a
 // variant. Machine models are deliberately absent — the predecoded image is
@@ -349,12 +370,9 @@ func (s *Suite) simulate(key RunKey, instrument func(*sim.Machine)) (*sim.Result
 		cfg.Mem.PerfectMemory = true
 	case VarPerfDel:
 		cfg.Mem.PerfectDelinquent = true
-		cfg.Mem.DelinquentIDs = map[int]bool{}
-		for _, id := range ps.del {
-			cfg.Mem.DelinquentIDs[id] = true
-		}
+		cfg.Mem.DelinquentIDs = mem.NewIDSet(ps.del...)
 	}
-	m := sim.NewPredecoded(cfg, dp)
+	m := s.getMachine(cfg, dp)
 	if instrument != nil {
 		instrument(m)
 	}
@@ -369,6 +387,9 @@ func (s *Suite) simulate(key RunKey, instrument func(*sim.Machine)) (*sim.Result
 	if got := m.Mem.Load(workloads.ResultAddr); got != ps.want {
 		return nil, fmt.Errorf("%s: checksum %d, want %d", key, got, ps.want)
 	}
+	// The Result is detached from the machine, so the machine can go back to
+	// the pool before the result is validated or cached.
+	s.putMachine(m)
 	if instrument != nil {
 		// Instrumented runs feed the caller, not the figures: the hooks may
 		// have detached the stats recorder the conservation layer checks, and

@@ -149,7 +149,7 @@ func (s *Suite) Figure9() ([]Fig9Row, error) {
 			missBuckets := map[string]uint64{}
 			var missTotal uint64
 			for _, id := range ps.del {
-				st := res.Hier.ByLoad[id]
+				st := res.Hier.ByLoad()[id]
 				if st == nil {
 					continue
 				}

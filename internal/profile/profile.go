@@ -69,7 +69,7 @@ func Collect(p *ir.Program, cfg sim.Config) (*Profile, error) {
 			pr.BlockFreq[key] += count
 		}
 	}
-	for id, stat := range res.Hier.ByLoad {
+	for id, stat := range res.Hier.ByLoad() {
 		_, _, in := p.InstrByID(id)
 		if in == nil || in.Op != ir.OpLd {
 			continue

@@ -48,14 +48,19 @@ func BenchmarkInterpret(b *testing.B) {
 }
 
 // benchEngine measures one cycle-level engine on the shared workload,
-// reporting simulated cycles and retired instructions per host second.
+// reporting simulated cycles and retired instructions per host second. One
+// machine is built outside the loop and Reset per iteration — the steady
+// state every real consumer reaches through exp.Suite's machine pool, and
+// the regime the allocs/op column tracks (alloc_test.go pins the ceilings).
 func benchEngine(b *testing.B, cfg Config) {
 	dp := benchProgram(b)
 	cfg.UseTinyMem()
+	m := NewPredecoded(cfg, dp)
 	b.ResetTimer()
 	var cycles, instrs int64
 	for i := 0; i < b.N; i++ {
-		res, err := NewPredecoded(cfg, dp).Run()
+		m.Reset(cfg, dp)
+		res, err := m.Run()
 		if err != nil {
 			b.Fatal(err)
 		}

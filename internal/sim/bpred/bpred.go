@@ -34,6 +34,14 @@ func (g *GShare) Update(pc uint64, taken bool) {
 	g.history = g.history<<1 | b2u(taken)
 }
 
+// Reset clears the table and global history in place.
+func (g *GShare) Reset() {
+	for i := range g.table {
+		g.table[i] = 0
+	}
+	g.history = 0
+}
+
 func b2u(b bool) uint64 {
 	if b {
 		return 1
@@ -96,6 +104,15 @@ func (b *BTB) Install(pc uint64) {
 	b.lru[victim] = b.clock
 }
 
+// Reset invalidates every entry in place.
+func (b *BTB) Reset() {
+	for i := range b.tags {
+		b.tags[i] = 0
+		b.lru[i] = 0
+	}
+	b.clock = 0
+}
+
 // Predictor bundles direction and target prediction for one front end. Each
 // machine model instantiates one (shared across SMT contexts, as GSHARE and
 // BTB are core-level structures).
@@ -107,6 +124,13 @@ type Predictor struct {
 // New returns the Table 1 predictor: 2k-entry GSHARE, 256-entry 4-way BTB.
 func New() *Predictor {
 	return &Predictor{Dir: NewGShare(2048), Tgt: NewBTB(256, 4)}
+}
+
+// Reset restores the predictor to its just-built state, keeping the tables'
+// allocations (Machine.Reset reuses predictors across runs).
+func (p *Predictor) Reset() {
+	p.Dir.Reset()
+	p.Tgt.Reset()
 }
 
 // PredictAndTrain consults the predictor for a conditional branch at pc with

@@ -163,6 +163,10 @@ type Program struct {
 	// so machine construction installs it by page copy instead of a word-at-
 	// a-time map walk.
 	Mem *mem.Snapshot
+	// MaxID is the largest static instruction ID in the image; machines
+	// presize their dense per-load stat tables from it so the counting path
+	// never allocates.
+	MaxID int
 }
 
 // Classify maps an opcode to its function-unit and latency classes.
@@ -320,5 +324,11 @@ func Predecode(img *ir.Image) *Program {
 		d.Uses = uses[o[0]:o[1]:o[1]]
 		d.Defs = defs[o[2]:o[3]:o[3]]
 	}
-	return &Program{Img: img, Code: code, Mem: mem.NewSnapshot(img.Data)}
+	maxID := 0
+	for pc := range code {
+		if id := int(code[pc].ID); id > maxID {
+			maxID = id
+		}
+	}
+	return &Program{Img: img, Code: code, Mem: mem.NewSnapshot(img.Data), MaxID: maxID}
 }

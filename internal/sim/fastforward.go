@@ -115,7 +115,7 @@ func (m *Machine) fastForwardOOO(main *Thread, s CycleStats) {
 		w := t.win
 		// Dispatch must be unable to proceed for a timed reason; otherwise
 		// the thread would dispatch the cycle selection next picks it.
-		if !(t.frontStallUntil > m.now || w.blocked != nil || w.haltAfterDrain ||
+		if !(t.frontStallUntil > m.now || w.blocked >= 0 || w.haltAfterDrain ||
 			w.full() || (w.waitDrain && w.size() > 0)) {
 			return
 		}
@@ -123,8 +123,8 @@ func (m *Machine) fastForwardOOO(main *Thread, s CycleStats) {
 			next = t.frontStallUntil
 		}
 		considered := 0
-		for i := w.head; i < len(w.recs); i++ {
-			r := w.recs[i]
+		for a := w.headAbs; a < w.tailAbs; a++ {
+			r := w.at(a)
 			if r.issued {
 				if r.doneAt > m.now && r.doneAt < next {
 					next = r.doneAt
@@ -140,7 +140,7 @@ func (m *Machine) fastForwardOOO(main *Thread, s CycleStats) {
 			considered++
 			ready := true
 			for si := 0; si < r.nsrc; si++ {
-				if src := r.srcs[si]; !src.issued || src.doneAt > m.now {
+				if !w.srcReady(r.srcs[si], m.now) {
 					ready = false
 					break
 				}

@@ -67,13 +67,7 @@ func (statsHooks) Cycle(m *Machine, main *Thread, s CycleStats) {
 
 func (statsHooks) Skip(m *Machine, main *Thread, s CycleStats, cycles int64) {
 	m.accountCycles(main, s.IssuedMain, s.StalledOnLoad, s.StallLevel, cycles)
-	n := 0
-	for _, t := range m.threads {
-		if t.active && t.spec {
-			n++
-		}
-	}
-	m.res.SpecActiveHist[n] += cycles
+	m.res.SpecActiveHist[m.liveSpec] += cycles
 }
 
 // profileHooks maintains Result.PCCount and Result.CallEdges when

@@ -23,21 +23,36 @@ func (m *Machine) runInOrder() {
 		intU, memU, brU, fpU := m.Cfg.IntUnits, m.Cfg.MemPorts, m.Cfg.BrUnits, m.Cfg.FPUnits
 
 		// Thread selection: the non-speculative thread has priority; the
-		// remaining bundle goes to speculative threads round-robin.
+		// remaining bundle goes to speculative threads round-robin. With no
+		// live speculative thread (every baseline cycle) the scan is skipped.
 		n := 0
 		sel[n] = main
 		n++
-		for scan, picked := 0, 0; scan < len(m.threads) && picked < m.Cfg.ThreadsPerCycle-1 && n < len(sel); scan++ {
-			t := m.threads[(m.rr+scan)%len(m.threads)]
-			if t == main || !t.active || t.frontStallUntil > m.now {
-				continue
+		if m.liveSpec > 0 {
+			for scan, picked := 0, 0; scan < len(m.threads) && picked < m.Cfg.ThreadsPerCycle-1 && n < len(sel); scan++ {
+				// m.rr moves on every pick, so the index is recomputed from
+				// it each iteration; rr and scan are both < len, so one
+				// conditional subtract replaces the modulo.
+				idx := m.rr + scan
+				if idx >= len(m.threads) {
+					idx -= len(m.threads)
+				}
+				t := m.threads[idx]
+				if t == main || !t.active || t.frontStallUntil > m.now {
+					continue
+				}
+				sel[n] = t
+				n++
+				picked++
+				if m.rr = t.idx + 1; m.rr == len(m.threads) {
+					m.rr = 0
+				}
 			}
-			sel[n] = t
-			n++
-			picked++
-			m.rr = (t.idx + 1) % len(m.threads)
 		}
-		slots := m.Cfg.IssueWidth / n
+		slots := m.Cfg.IssueWidth
+		if n > 1 {
+			slots /= n
+		}
 
 		issuedMain := 0
 		issuedAny := false

@@ -126,6 +126,12 @@ type Machine struct {
 
 	mainDone bool
 	rr       int // round-robin cursor over speculative threads
+	// liveSpec counts active speculative threads, maintained at the single
+	// activation/deactivation points (startThread/killThread). It lets the
+	// per-cycle paths skip the thread-selection scan and index the
+	// utilization histogram without walking every context; Conservation's
+	// sum(SpecActiveHist) == Cycles invariant cross-checks it every run.
+	liveSpec int
 }
 
 // New builds a machine for the image under the given configuration,
@@ -143,13 +149,30 @@ func Predecode(img *ir.Image) *decode.Program { return decode.Predecode(img) }
 // NewPredecoded builds a machine over an already-predecoded image.
 func NewPredecoded(cfg Config, dp *decode.Program) *Machine {
 	m := &Machine{
-		Cfg:  cfg,
-		Img:  dp.Img,
 		Mem:  mem.NewMemory(),
 		Hier: mem.NewHierarchy(cfg.Mem),
 		Pred: bpred.New(),
-		code: dp.Code,
 	}
+	m.Reset(cfg, dp)
+	return m
+}
+
+// Reset returns the machine to its just-constructed state over a (possibly
+// different) configuration and predecoded image, reusing every allocation
+// whose shape still fits: the memory's page frames and radix layout, the
+// hierarchy (when the cache geometry is unchanged), the thread contexts and
+// their per-thread buffers, and the branch predictor tables. A Reset machine
+// runs bit-for-bit identically to a freshly constructed one — the
+// check.HotPathEquivalence gate and the hot-path sweep enforce this — which
+// is what lets exp.Suite pool machines across matrix cells.
+//
+// Results returned by earlier runs stay valid: Run detaches the hierarchy
+// statistics, and Reset allocates fresh histogram/profile slices instead of
+// clearing the ones previous Results still reference.
+func (m *Machine) Reset(cfg Config, dp *decode.Program) {
+	m.Cfg = cfg
+	m.Img = dp.Img
+	m.code = dp.Code
 	m.lat = [decode.NumLatClasses]int64{
 		decode.Lat1:   1,
 		decode.Lat2:   2,
@@ -157,11 +180,40 @@ func NewPredecoded(cfg Config, dp *decode.Program) *Machine {
 		decode.LatFP:  cfg.FPLat,
 		decode.LatLIB: cfg.LIBCopyLat,
 	}
-	m.Mem.InstallSnapshot(dp.Mem)
-	m.threads = make([]*Thread, cfg.Contexts)
-	for i := range m.threads {
-		m.threads[i] = &Thread{idx: i, resumePC: -1, lastChkTaken: -1 << 40}
+	if mem.SameGeometry(m.Hier.Cfg, cfg.Mem) {
+		m.Hier.Cfg = cfg.Mem
+		m.Hier.Reset()
+	} else {
+		m.Hier = mem.NewHierarchy(cfg.Mem)
 	}
+	m.Hier.PresizeLoads(dp.MaxID + 1)
+	m.Mem.Reset()
+	m.Mem.InstallSnapshot(dp.Mem)
+	m.Pred.Reset()
+	if len(m.threads) != cfg.Contexts {
+		m.threads = make([]*Thread, cfg.Contexts)
+		for i := range m.threads {
+			m.threads[i] = &Thread{idx: i, resumePC: -1, lastChkTaken: -1 << 40}
+		}
+	} else {
+		for i, t := range m.threads {
+			pending := t.pending[:0]
+			win := t.win
+			*t = Thread{idx: i, resumePC: -1, lastChkTaken: -1 << 40}
+			t.pending = pending
+			if cfg.Model == OOO {
+				t.win = win
+			}
+		}
+	}
+	m.now = 0
+	m.res = Result{}
+	m.ef = archEffect{}
+	m.exec = nil
+	m.noSpec = false
+	m.mainDone = false
+	m.rr = 0
+	m.liveSpec = 0
 	m.SetCycleHooks(statsHooks{})
 	if cfg.Profile {
 		m.res.PCCount = make([]uint64, len(dp.Code))
@@ -174,20 +226,13 @@ func NewPredecoded(cfg Config, dp *decode.Program) *Machine {
 	// speculative. Sizing it Contexts (and guarding the index) silently
 	// dropped that last bucket, breaking sum(SpecActiveHist) == Cycles.
 	m.res.SpecActiveHist = make([]int64, cfg.Contexts+1)
-	return m
 }
 
 // recordUtilization tallies the number of active speculative contexts this
 // cycle. Every cycle lands in exactly one bucket, so the histogram always
 // sums to Cycles (asserted by check.Conservation).
 func (m *Machine) recordUtilization() {
-	n := 0
-	for _, t := range m.threads {
-		if t.active && t.spec {
-			n++
-		}
-	}
-	m.res.SpecActiveHist[n]++
+	m.res.SpecActiveHist[m.liveSpec]++
 }
 
 // main returns the main thread (context 0).
@@ -226,18 +271,27 @@ func (t *Thread) setFR(f ir.FR, v float64) {
 // through the RSE backing store (§2.1).
 func (m *Machine) startThread(c *Thread, pc int, parent *Thread) {
 	idx := c.idx
+	// The pending slice and OOO window keep their backing arrays across the
+	// context's lifetimes, so steady-state spawning allocates nothing.
+	pending := c.pending[:0]
+	win := c.win
 	*c = Thread{idx: idx, active: true, spec: true, pc: pc, resumePC: -1}
+	m.liveSpec++
+	c.pending = pending
 	c.inLIB = parent.outLIB
 	c.frontStallUntil = m.now + m.Cfg.SpawnStartup
 	if m.Cfg.Model == OOO {
-		c.win = newWindow(m.Cfg.ROBSize)
+		c.win = win.reset(m.Cfg.ROBSize)
 	}
 }
 
-// killThread frees a context.
+// killThread frees a context. The thread's window is kept for reuse by the
+// next thread started on this context.
 func (m *Machine) killThread(t *Thread) {
+	if t.active && t.spec {
+		m.liveSpec--
+	}
 	t.active = false
-	t.win = nil
 }
 
 // Run executes the program to completion of the main thread and returns the
@@ -254,7 +308,9 @@ func (m *Machine) Run() (*Result, error) {
 		return nil, fmt.Errorf("sim: unknown model %v", m.Cfg.Model)
 	}
 	m.res.Cycles = m.now
-	m.res.Hier = m.Hier
+	// Detach the statistics so the Result stays valid when the machine is
+	// Reset and reused for another run (exp.Suite pools machines).
+	m.res.Hier = m.Hier.DetachStats()
 	m.res.FinalRegs = m.main().regs
 	m.res.MemChecksum = m.Mem.Checksum()
 	r := m.res

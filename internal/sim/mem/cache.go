@@ -38,8 +38,9 @@ func (c *Cache) Lookup(addr uint64) bool {
 	ln := c.line(addr) + 1
 	set := int(ln) & (c.sets - 1)
 	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == ln {
+	tags := c.tags[base : base+c.ways]
+	for w := range tags {
+		if tags[w] == ln {
 			c.clock++
 			c.lru[base+w] = c.clock
 			return true
@@ -54,24 +55,25 @@ func (c *Cache) Insert(addr uint64) {
 	ln := c.line(addr) + 1
 	set := int(ln) & (c.sets - 1)
 	base := set * c.ways
-	victim := base
+	tags := c.tags[base : base+c.ways]
+	lru := c.lru[base : base+c.ways]
+	victim := 0
 	c.clock++
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.tags[i] == ln {
-			c.lru[i] = c.clock
+	for w := range tags {
+		if tags[w] == ln {
+			lru[w] = c.clock
 			return
 		}
-		if c.tags[i] == 0 {
-			victim = i
+		if tags[w] == 0 {
+			victim = w
 			break
 		}
-		if c.lru[i] < c.lru[victim] {
-			victim = i
+		if lru[w] < lru[victim] {
+			victim = w
 		}
 	}
-	c.tags[victim] = ln
-	c.lru[victim] = c.clock
+	tags[victim] = ln
+	lru[victim] = c.clock
 }
 
 // Reset invalidates the whole cache.

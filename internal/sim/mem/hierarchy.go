@@ -54,7 +54,20 @@ type Config struct {
 	// PerfectDelinquent makes accesses by the instruction IDs in
 	// DelinquentIDs L1 hits (Figure 2, second bar).
 	PerfectDelinquent bool
-	DelinquentIDs     map[int]bool
+	DelinquentIDs     IDSet
+}
+
+// SameGeometry reports whether two configs describe structurally identical
+// hardware (cache/TLB/fill-buffer shapes), so a hierarchy built for one can
+// be Reset and reused for the other instead of reallocated.
+func SameGeometry(a, b Config) bool {
+	return a.LineBytes == b.LineBytes &&
+		a.L1Size == b.L1Size && a.L1Ways == b.L1Ways &&
+		a.L2Size == b.L2Size && a.L2Ways == b.L2Ways &&
+		a.L3Size == b.L3Size && a.L3Ways == b.L3Ways &&
+		a.FillBufferEntries == b.FillBufferEntries &&
+		a.TLBEntries == b.TLBEntries && a.TLBWays == b.TLBWays &&
+		a.TLBPageBytes == b.TLBPageBytes
 }
 
 // Default returns the Table 1 memory system: L1 16KB 4-way 2cyc, L2 256KB
@@ -118,21 +131,36 @@ type fbEntry struct {
 	valid   bool
 }
 
+// fbNever is the cached-earliest sentinel when no fill is in flight.
+const fbNever = int64(1) << 62
+
 // Hierarchy is the shared three-level cache hierarchy plus fill buffer. All
 // hardware thread contexts access the same hierarchy (Table 1: L2 and L3 are
 // shared; L1 is shared too in the modelled core since SMT contexts share the
 // data cache), which is exactly what makes p-slice prefetching visible to
 // the main thread.
+//
+// Per-load statistics live in a dense slice indexed by static instruction ID
+// (the decode layer assigns small contiguous IDs); the exported map view is
+// materialized on demand by ByLoad. The fill buffer keeps a live-entry count
+// and a cached earliest completion so the common no-fill-pending case costs
+// two compares instead of a scan.
 type Hierarchy struct {
-	Cfg Config
-	l1  *Cache
-	l2  *Cache
-	l3  *Cache
-	fb  []fbEntry
-	tlb *TLB
+	Cfg       Config
+	lineShift uint
+	l1        *Cache
+	l2        *Cache
+	l3        *Cache
+	fb        []fbEntry
+	fbLive    int   // valid fill-buffer entries
+	fbReady   int64 // min readyAt over valid entries; fbNever when none
+	tlb       *TLB
 
-	// ByLoad maps instruction ID -> stats.
-	ByLoad map[int]*LoadStat
+	// loads holds per-instruction-ID stats densely; byLoad caches the map
+	// view the exported accessors materialize.
+	loads  []LoadStat
+	byLoad map[int]*LoadStat
+
 	// Totals aggregates all accesses.
 	Totals LoadStat
 	// DroppedPrefetches counts lfetch requests discarded because the fill
@@ -147,8 +175,7 @@ type Hierarchy struct {
 	// tracking window holds the most recent prefetched lines.
 	PrefetchIssued uint64
 	PrefetchUseful uint64
-	pfWindow       map[uint64]bool
-	pfOrder        []uint64
+	pf             *pfWindow
 }
 
 // pfWindowSize bounds the prefetched-line tracking window.
@@ -156,26 +183,20 @@ const pfWindowSize = 4096
 
 // notePrefetch records a newly prefetched line in the accuracy window.
 func (h *Hierarchy) notePrefetch(line uint64) {
-	if h.pfWindow == nil {
-		h.pfWindow = make(map[uint64]bool, pfWindowSize)
+	if h.pf == nil {
+		h.pf = new(pfWindow)
 	}
-	if h.pfWindow[line] {
+	if h.pf.contains(line) {
 		return
 	}
-	if len(h.pfOrder) >= pfWindowSize {
-		old := h.pfOrder[0]
-		h.pfOrder = h.pfOrder[1:]
-		delete(h.pfWindow, old)
-	}
-	h.pfWindow[line] = true
-	h.pfOrder = append(h.pfOrder, line)
+	h.pf.push(line)
 	h.PrefetchIssued++
 }
 
 // noteDemand credits a prefetch when a demand access touches its line.
 func (h *Hierarchy) noteDemand(line uint64) {
-	if h.pfWindow != nil && h.pfWindow[line] {
-		delete(h.pfWindow, line)
+	if h.pf != nil && h.pf.contains(line) {
+		h.pf.consume(line)
 		h.PrefetchUseful++
 	}
 }
@@ -192,41 +213,116 @@ func (h *Hierarchy) PrefetchAccuracy() float64 {
 // NewHierarchy builds the hierarchy for the given configuration.
 func NewHierarchy(cfg Config) *Hierarchy {
 	h := &Hierarchy{
-		Cfg:    cfg,
-		l1:     NewCache(cfg.L1Size, cfg.L1Ways, cfg.LineBytes),
-		l2:     NewCache(cfg.L2Size, cfg.L2Ways, cfg.LineBytes),
-		l3:     NewCache(cfg.L3Size, cfg.L3Ways, cfg.LineBytes),
-		fb:     make([]fbEntry, cfg.FillBufferEntries),
-		ByLoad: make(map[int]*LoadStat),
+		Cfg:     cfg,
+		l1:      NewCache(cfg.L1Size, cfg.L1Ways, cfg.LineBytes),
+		l2:      NewCache(cfg.L2Size, cfg.L2Ways, cfg.LineBytes),
+		l3:      NewCache(cfg.L3Size, cfg.L3Ways, cfg.LineBytes),
+		fb:      make([]fbEntry, cfg.FillBufferEntries),
+		fbReady: fbNever,
 	}
+	h.lineShift = uint(lineBits(cfg.LineBytes))
 	if cfg.TLBEntries > 0 {
 		h.tlb = NewTLB(cfg.TLBEntries, cfg.TLBWays, cfg.TLBPageBytes)
 	}
 	return h
 }
 
-func (h *Hierarchy) stat(id int) *LoadStat {
-	s := h.ByLoad[id]
-	if s == nil {
-		s = &LoadStat{ID: id}
-		h.ByLoad[id] = s
+// PresizeLoads grows the per-load stat table to cover IDs below n, so that
+// the counting path never allocates. The machine presizes from the decoded
+// program's maximum static ID.
+func (h *Hierarchy) PresizeLoads(n int) {
+	if n > len(h.loads) {
+		grown := make([]LoadStat, n)
+		copy(grown, h.loads)
+		h.loads = grown
 	}
-	return s
+}
+
+func (h *Hierarchy) stat(id int) *LoadStat {
+	if h.byLoad != nil {
+		h.byLoad = nil // new counts invalidate the materialized view
+	}
+	if id >= len(h.loads) {
+		n := id + 1
+		if c := 2 * len(h.loads); n < c {
+			n = c
+		}
+		grown := make([]LoadStat, n)
+		copy(grown, h.loads)
+		h.loads = grown
+	}
+	return &h.loads[id]
+}
+
+// ByLoad materializes the per-load statistics as a map from instruction ID
+// to stats, containing exactly the IDs that were accessed at least once. The
+// map is cached until further accesses are counted; entries are detached
+// copies of the dense table.
+func (h *Hierarchy) ByLoad() map[int]*LoadStat {
+	if h.byLoad == nil {
+		n := 0
+		for i := range h.loads {
+			if h.loads[i].Accesses != 0 {
+				n++
+			}
+		}
+		m := make(map[int]*LoadStat, n)
+		for i := range h.loads {
+			if h.loads[i].Accesses == 0 {
+				continue
+			}
+			s := h.loads[i]
+			s.ID = i
+			m[i] = &s
+		}
+		h.byLoad = m
+	}
+	return h.byLoad
+}
+
+// DetachStats returns a self-contained statistics-only copy of the
+// hierarchy: totals, prefetch counters, and the per-load table with the map
+// view pre-materialized. Results hold the detached copy so the machine (and
+// its hierarchy) can be Reset and reused without corrupting previously
+// returned Results.
+func (h *Hierarchy) DetachStats() *Hierarchy {
+	d := &Hierarchy{
+		Cfg:               h.Cfg,
+		Totals:            h.Totals,
+		DroppedPrefetches: h.DroppedPrefetches,
+		PrefetchIssued:    h.PrefetchIssued,
+		PrefetchUseful:    h.PrefetchUseful,
+		loads:             append([]LoadStat(nil), h.loads...),
+	}
+	d.ByLoad()
+	return d
 }
 
 // drain completes any fill-buffer entries that have arrived by now,
-// installing their lines into the hierarchy (inclusive fill).
+// installing their lines into the hierarchy (inclusive fill). When nothing
+// has completed — the overwhelmingly common case — this is two compares.
 func (h *Hierarchy) drain(now int64) {
+	if h.fbLive == 0 || h.fbReady > now {
+		return
+	}
+	ready := fbNever
 	for i := range h.fb {
 		e := &h.fb[i]
-		if e.valid && e.readyAt <= now {
-			addr := e.line << uint(lineBits(h.Cfg.LineBytes))
+		if !e.valid {
+			continue
+		}
+		if e.readyAt <= now {
+			addr := e.line << h.lineShift
 			h.l1.Insert(addr)
 			h.l2.Insert(addr)
 			h.l3.Insert(addr)
 			e.valid = false
+			h.fbLive--
+		} else if e.readyAt < ready {
+			ready = e.readyAt
 		}
 	}
+	h.fbReady = ready
 }
 
 // EarliestPending returns the completion cycle of the earliest in-flight
@@ -236,6 +332,14 @@ func (h *Hierarchy) drain(now int64) {
 // access by any thread from a miss into a hit, so the machine's timing is
 // only provably static up to this boundary.
 func (h *Hierarchy) EarliestPending(now int64) (int64, bool) {
+	if h.fbLive == 0 {
+		return 0, false
+	}
+	if h.fbReady > now {
+		return h.fbReady, true
+	}
+	// Some entries have completed but not yet drained; scan for the
+	// earliest strictly beyond now.
 	earliest, any := int64(0), false
 	for i := range h.fb {
 		e := &h.fb[i]
@@ -258,7 +362,7 @@ func lineBits(lineBytes int) int {
 // instruction id. count=false suppresses statistics (used for speculative
 // threads' own bookkeeping decisions in callers; normal accesses count).
 func (h *Hierarchy) Access(id int, addr uint64, now int64, count bool) Access {
-	if h.Cfg.PerfectMemory || (h.Cfg.PerfectDelinquent && h.Cfg.DelinquentIDs[id]) {
+	if h.Cfg.PerfectMemory || (h.Cfg.PerfectDelinquent && h.Cfg.DelinquentIDs.Has(id)) {
 		if count {
 			s := h.stat(id)
 			s.Accesses++
@@ -279,7 +383,7 @@ func (h *Hierarchy) Access(id int, addr uint64, now int64, count bool) Access {
 	}
 	h.drain(now)
 	if count {
-		h.noteDemand(addr >> uint(lineBits(h.Cfg.LineBytes)))
+		h.noteDemand(addr >> h.lineShift)
 	}
 	res := h.access(addr, now)
 	if h.tlb != nil && h.tlb.Translate(addr) {
@@ -307,16 +411,18 @@ func (h *Hierarchy) Access(id int, addr uint64, now int64, count bool) Access {
 }
 
 func (h *Hierarchy) access(addr uint64, now int64) Access {
-	line := addr >> uint(lineBits(h.Cfg.LineBytes))
+	line := addr >> h.lineShift
 	// Partial hit: the line is already in transit.
-	for i := range h.fb {
-		e := &h.fb[i]
-		if e.valid && e.line == line {
-			lat := e.readyAt - now
-			if lat < 1 {
-				lat = 1
+	if h.fbLive > 0 {
+		for i := range h.fb {
+			e := &h.fb[i]
+			if e.valid && e.line == line {
+				lat := e.readyAt - now
+				if lat < 1 {
+					lat = 1
+				}
+				return Access{Level: e.level, Partial: true, Latency: lat + h.Cfg.L1Lat}
 			}
-			return Access{Level: e.level, Partial: true, Latency: lat + h.Cfg.L1Lat}
 		}
 	}
 	if h.l1.Lookup(addr) {
@@ -336,35 +442,32 @@ func (h *Hierarchy) access(addr uint64, now int64) Access {
 	// Allocate a fill-buffer entry for the in-flight line. If the buffer
 	// is full of in-flight entries the request waits for the earliest
 	// completion (back pressure).
+	extra := int64(0)
+	if h.fbLive == len(h.fb) {
+		// Full: the cached earliest completion is exactly the scan the
+		// original code performed here.
+		extra = h.fbReady - now
+		if extra < 0 {
+			extra = 0
+		}
+		h.drain(h.fbReady)
+	}
 	slot := -1
-	var earliest int64 = 1 << 62
 	for i := range h.fb {
 		if !h.fb[i].valid {
 			slot = i
 			break
 		}
-		if h.fb[i].readyAt < earliest {
-			earliest = h.fb[i].readyAt
-		}
 	}
-	extra := int64(0)
 	if slot == -1 {
-		extra = earliest - now
-		if extra < 0 {
-			extra = 0
-		}
-		h.drain(earliest)
-		for i := range h.fb {
-			if !h.fb[i].valid {
-				slot = i
-				break
-			}
-		}
-		if slot == -1 {
-			slot = 0 // defensive; drain always frees at least one
-		}
+		slot = 0 // defensive; drain always frees at least one
 	}
-	h.fb[slot] = fbEntry{line: line, readyAt: now + extra + lat, level: lvl, valid: true}
+	readyAt := now + extra + lat
+	h.fb[slot] = fbEntry{line: line, readyAt: readyAt, level: lvl, valid: true}
+	h.fbLive++
+	if readyAt < h.fbReady {
+		h.fbReady = readyAt
+	}
 	return Access{Level: lvl, Latency: extra + lat + h.Cfg.L1Lat}
 }
 
@@ -374,27 +477,22 @@ func (h *Hierarchy) access(addr uint64, now int64) Access {
 // parallelism from the main thread's demand accesses (the L1-interference
 // effect §4.4.1 discusses on the OOO model).
 func (h *Hierarchy) Prefetch(id int, addr uint64, now int64) Access {
-	if h.Cfg.PerfectMemory || (h.Cfg.PerfectDelinquent && h.Cfg.DelinquentIDs[id]) {
+	if h.Cfg.PerfectMemory || (h.Cfg.PerfectDelinquent && h.Cfg.DelinquentIDs.Has(id)) {
 		return Access{Level: L1, Latency: h.Cfg.L1Lat}
 	}
 	h.drain(now)
-	line := addr >> uint(lineBits(h.Cfg.LineBytes))
-	for i := range h.fb {
-		if h.fb[i].valid && h.fb[i].line == line {
-			return Access{Level: h.fb[i].level, Partial: true, Latency: 1}
+	line := addr >> h.lineShift
+	if h.fbLive > 0 {
+		for i := range h.fb {
+			if h.fb[i].valid && h.fb[i].line == line {
+				return Access{Level: h.fb[i].level, Partial: true, Latency: 1}
+			}
 		}
 	}
 	if h.l1.Lookup(addr) {
 		return Access{Level: L1, Latency: h.Cfg.L1Lat}
 	}
-	slotFree := false
-	for i := range h.fb {
-		if !h.fb[i].valid {
-			slotFree = true
-			break
-		}
-	}
-	if !slotFree {
+	if h.fbLive == len(h.fb) {
 		h.DroppedPrefetches++
 		return Access{Level: L1, Latency: 1}
 	}
@@ -402,22 +500,31 @@ func (h *Hierarchy) Prefetch(id int, addr uint64, now int64) Access {
 	return h.access(addr, now)
 }
 
-// Reset clears caches, fill buffer, and statistics.
+// Reset clears caches, fill buffer, and statistics in place, keeping every
+// allocation (dense stat table, prefetch window, cache arrays) for reuse.
 func (h *Hierarchy) Reset() {
+	h.lineShift = uint(lineBits(h.Cfg.LineBytes))
 	h.l1.Reset()
 	h.l2.Reset()
 	h.l3.Reset()
 	for i := range h.fb {
 		h.fb[i] = fbEntry{}
 	}
+	h.fbLive = 0
+	h.fbReady = fbNever
 	if h.tlb != nil {
 		h.tlb.Reset()
 	}
-	h.ByLoad = make(map[int]*LoadStat)
+	for i := range h.loads {
+		h.loads[i] = LoadStat{}
+	}
+	h.byLoad = nil
 	h.Totals = LoadStat{}
 	h.DroppedPrefetches = 0
 	h.PrefetchIssued = 0
 	h.PrefetchUseful = 0
-	h.pfWindow = nil
-	h.pfOrder = nil
+	if h.pf != nil {
+		h.pf.tail, h.pf.n = 0, 0
+		h.pf.set.reset()
+	}
 }

@@ -1,0 +1,104 @@
+package mem
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// IDSet is a bitset over small non-negative static-instruction IDs. It
+// replaces the map[int]bool the perfect-delinquent idealization used to
+// consult on every access: membership is now one shift, one mask, and one
+// bounds check. The decode layer assigns small contiguous IDs, so the bitset
+// stays a handful of words.
+//
+// The zero value is the empty set. IDSet serializes as a sorted JSON array
+// of the member IDs so profiles remain human-readable and diffable.
+type IDSet struct {
+	words []uint64
+}
+
+// NewIDSet returns a set holding the given IDs.
+func NewIDSet(ids ...int) IDSet {
+	var s IDSet
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+// Add inserts id. Negative IDs are ignored (the IR never assigns them).
+func (s *IDSet) Add(id int) {
+	if id < 0 {
+		return
+	}
+	w := id >> 6
+	for w >= len(s.words) {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << uint(id&63)
+}
+
+// Has reports whether id is a member.
+func (s *IDSet) Has(id int) bool {
+	w := id >> 6
+	return id >= 0 && w < len(s.words) && s.words[w]&(1<<uint(id&63)) != 0
+}
+
+// Len returns the number of members.
+func (s *IDSet) Len() int {
+	n := 0
+	for _, w := range s.words {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// IDs returns the members in ascending order.
+func (s *IDSet) IDs() []int {
+	ids := make([]int, 0, s.Len())
+	for wi, w := range s.words {
+		for ; w != 0; w &= w - 1 {
+			b := 0
+			for m := w & (^w + 1); m > 1; m >>= 1 {
+				b++
+			}
+			ids = append(ids, wi<<6|b)
+		}
+	}
+	return ids
+}
+
+// MarshalJSON encodes the set as a sorted array of member IDs.
+func (s IDSet) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.IDs())
+}
+
+// UnmarshalJSON accepts either the array form or the legacy map[int]bool
+// object form ({"7": true}) that older serialized profiles used.
+func (s *IDSet) UnmarshalJSON(data []byte) error {
+	s.words = nil
+	var ids []int
+	if err := json.Unmarshal(data, &ids); err == nil {
+		for _, id := range ids {
+			s.Add(id)
+		}
+		return nil
+	}
+	var legacy map[int]bool
+	if err := json.Unmarshal(data, &legacy); err != nil {
+		return err
+	}
+	keys := make([]int, 0, len(legacy))
+	for id, ok := range legacy {
+		if ok {
+			keys = append(keys, id)
+		}
+	}
+	sort.Ints(keys)
+	for _, id := range keys {
+		s.Add(id)
+	}
+	return nil
+}

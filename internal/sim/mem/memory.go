@@ -13,24 +13,109 @@ const pageBits = 9
 
 type page [1 << pageBits]uint64
 
+// The page table is a two-level radix: a dense first-level slice of leaf
+// tables covering the low part of the address space (where the linker
+// actually places code and data), with a map fallback for outlier pages
+// beyond that span. leafBits pages per leaf × rootMax leaves covers
+// 2^24 pages = 64GB of address space before any access ever touches the
+// fallback map, and the fully grown first level is only 64KB of pointers.
+const (
+	leafBits = 11
+	leafMask = 1<<leafBits - 1
+	rootMax  = 1 << 13
+)
+
+type leaf [1 << leafBits]*page
+
 // Memory is a sparse, paged, word-granular flat memory. Addresses are byte
 // addresses; accesses are aligned to 8 bytes by masking. Loads of never
 // written locations return zero, which makes speculative p-slice execution
 // naturally non-faulting (§2: precomputation may be wrong, never harmful).
+//
+// Lookups are map-free on the hot path: a one-entry last-page cache catches
+// the page locality of real access streams, and a miss walks the two-level
+// radix with shifts and bounds checks only.
 type Memory struct {
-	pages map[uint64]*page
+	root     []*leaf          // dense first level, grown up to rootMax entries
+	out      map[uint64]*page // outliers beyond the radix span
+	lastIdx  uint64           // page index of the cached page
+	lastPage *page            // one-entry lookup cache (nil = cold)
+	resident int
 }
 
 // NewMemory returns an empty memory.
-func NewMemory() *Memory { return &Memory{pages: make(map[uint64]*page)} }
+func NewMemory() *Memory { return &Memory{} }
+
+// lookupPage walks the radix (or the outlier map) for page idx; nil when the
+// page is not resident.
+func (m *Memory) lookupPage(idx uint64) *page {
+	r := idx >> leafBits
+	if r < uint64(len(m.root)) {
+		if l := m.root[r]; l != nil {
+			return l[idx&leafMask]
+		}
+		return nil
+	}
+	if r < rootMax {
+		return nil
+	}
+	return m.out[idx]
+}
+
+// ensurePage returns the page frame for idx, allocating it (and any radix
+// level above it) on first touch.
+func (m *Memory) ensurePage(idx uint64) *page {
+	r := idx >> leafBits
+	if r < rootMax {
+		if r >= uint64(len(m.root)) {
+			n := 2 * len(m.root)
+			if n <= int(r) {
+				n = int(r) + 1
+			}
+			if n > rootMax {
+				n = rootMax
+			}
+			grown := make([]*leaf, n)
+			copy(grown, m.root)
+			m.root = grown
+		}
+		l := m.root[r]
+		if l == nil {
+			l = new(leaf)
+			m.root[r] = l
+		}
+		p := l[idx&leafMask]
+		if p == nil {
+			p = new(page)
+			l[idx&leafMask] = p
+			m.resident++
+		}
+		return p
+	}
+	if m.out == nil {
+		m.out = make(map[uint64]*page)
+	}
+	p := m.out[idx]
+	if p == nil {
+		p = new(page)
+		m.out[idx] = p
+		m.resident++
+	}
+	return p
+}
 
 // Load reads the 64-bit word at addr (aligned down).
 func (m *Memory) Load(addr uint64) uint64 {
 	w := addr >> 3
-	p := m.pages[w>>pageBits]
+	idx := w >> pageBits
+	if p := m.lastPage; p != nil && idx == m.lastIdx {
+		return p[w&(1<<pageBits-1)]
+	}
+	p := m.lookupPage(idx)
 	if p == nil {
 		return 0
 	}
+	m.lastIdx, m.lastPage = idx, p
 	return p[w&(1<<pageBits-1)]
 }
 
@@ -38,11 +123,12 @@ func (m *Memory) Load(addr uint64) uint64 {
 func (m *Memory) Store(addr, val uint64) {
 	w := addr >> 3
 	idx := w >> pageBits
-	p := m.pages[idx]
-	if p == nil {
-		p = new(page)
-		m.pages[idx] = p
+	if p := m.lastPage; p != nil && idx == m.lastIdx {
+		p[w&(1<<pageBits-1)] = val
+		return
 	}
+	p := m.ensurePage(idx)
+	m.lastIdx, m.lastPage = idx, p
 	p[w&(1<<pageBits-1)] = val
 }
 
@@ -51,6 +137,42 @@ func (m *Memory) Install(img map[uint64]uint64) {
 	for a, v := range img {
 		m.Store(a, v)
 	}
+}
+
+// forEachPage visits every resident page in ascending page-index order.
+// Outlier pages always sort after radix pages (their indices are beyond the
+// radix span by construction).
+func (m *Memory) forEachPage(f func(idx uint64, p *page)) {
+	for r, l := range m.root {
+		if l == nil {
+			continue
+		}
+		for i, p := range l {
+			if p != nil {
+				f(uint64(r)<<leafBits|uint64(i), p)
+			}
+		}
+	}
+	if len(m.out) == 0 {
+		return
+	}
+	idxs := make([]uint64, 0, len(m.out))
+	for idx := range m.out {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		f(idx, m.out[idx])
+	}
+}
+
+// Reset zeroes every resident page in place, keeping the page frames and the
+// radix layout for reuse. A reset memory is observationally identical to a
+// fresh one — loads return zero everywhere and Checksum ignores zero words —
+// but re-installing a snapshot into it allocates nothing.
+func (m *Memory) Reset() {
+	m.forEachPage(func(_ uint64, p *page) { *p = page{} })
+	m.lastPage = nil
 }
 
 // Snapshot is a data image pre-paged into this memory's layout, built once
@@ -71,31 +193,42 @@ func NewSnapshot(img map[uint64]uint64) *Snapshot {
 	m := NewMemory()
 	m.Install(img)
 	s := &Snapshot{
-		idxs:  make([]uint64, 0, len(m.pages)),
-		pages: make([]*page, 0, len(m.pages)),
+		idxs:  make([]uint64, 0, m.resident),
+		pages: make([]*page, 0, m.resident),
 	}
-	for idx := range m.pages {
+	m.forEachPage(func(idx uint64, p *page) {
 		s.idxs = append(s.idxs, idx)
-	}
-	sort.Slice(s.idxs, func(i, j int) bool { return s.idxs[i] < s.idxs[j] })
-	for _, idx := range s.idxs {
-		s.pages = append(s.pages, m.pages[idx])
-	}
+		s.pages = append(s.pages, p)
+	})
 	return s
 }
 
 // InstallSnapshot copies a pre-paged image into memory, one page copy per
 // resident page. The snapshot itself is never aliased and stays reusable.
+// Installing into a memory that already holds frames for the snapshot's
+// pages (a Reset machine being reused) copies into the existing frames and
+// allocates nothing.
 func (m *Memory) InstallSnapshot(s *Snapshot) {
+	// Size the radix first level once to span the snapshot's layout, instead
+	// of growing it incrementally page by page. idxs is sorted, so the last
+	// index inside the radix span bounds the first level.
+	for i := len(s.idxs) - 1; i >= 0; i-- {
+		if r := s.idxs[i] >> leafBits; r < rootMax {
+			if int(r) >= len(m.root) {
+				grown := make([]*leaf, r+1)
+				copy(grown, m.root)
+				m.root = grown
+			}
+			break
+		}
+	}
 	for i, idx := range s.idxs {
-		p := new(page)
-		*p = *s.pages[i]
-		m.pages[idx] = p
+		*m.ensurePage(idx) = *s.pages[i]
 	}
 }
 
 // Footprint returns the number of resident pages (for tests).
-func (m *Memory) Footprint() int { return len(m.pages) }
+func (m *Memory) Footprint() int { return m.resident }
 
 // Checksum digests the memory contents as FNV-1a over (address, value) pairs
 // of every non-zero word, visited in ascending page order. Zero words never
@@ -103,11 +236,6 @@ func (m *Memory) Footprint() int { return len(m.pages) }
 // to one where the page was never touched — two runs agree iff their
 // observable contents agree, regardless of allocation history.
 func (m *Memory) Checksum() uint64 {
-	idxs := make([]uint64, 0, len(m.pages))
-	for idx := range m.pages {
-		idxs = append(idxs, idx)
-	}
-	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -120,8 +248,7 @@ func (m *Memory) Checksum() uint64 {
 			v >>= 8
 		}
 	}
-	for _, idx := range idxs {
-		p := m.pages[idx]
+	m.forEachPage(func(idx uint64, p *page) {
 		for i, v := range p {
 			if v == 0 {
 				continue
@@ -130,6 +257,6 @@ func (m *Memory) Checksum() uint64 {
 			word(addr)
 			word(v)
 		}
-	}
+	})
 	return h
 }

@@ -1,0 +1,120 @@
+package mem
+
+// pfWindow tracks prefetch accuracy without per-access map traffic. It
+// replaces a map[uint64]bool plus an ever-resliced FIFO: the FIFO of issued
+// lines becomes a fixed ring buffer, and live-line membership becomes an
+// open-addressed hash set sized so its load factor never exceeds one half.
+//
+// The semantics mirror the original structures exactly:
+//   - the ring holds every *issued* line in issue order, including lines a
+//     demand access has since consumed (noteDemand removes a line from the
+//     live set but not from the FIFO);
+//   - a new prefetch is deduplicated only against the live set;
+//   - when the FIFO is at capacity, the oldest issued line is popped and that
+//     line is deleted from the live set regardless of which occurrence of the
+//     line the popped entry was.
+type pfWindow struct {
+	ring [pfWindowSize]uint64
+	tail int // ring index of the oldest FIFO entry
+	n    int // FIFO entries (live or consumed)
+	set  lineSet
+}
+
+// contains reports whether line is live (issued and not yet demanded).
+func (w *pfWindow) contains(line uint64) bool { return w.set.has(line) }
+
+// push records a newly issued line, evicting the oldest FIFO entry when the
+// window is at capacity. The caller has already checked contains(line).
+func (w *pfWindow) push(line uint64) {
+	if w.n >= pfWindowSize {
+		old := w.ring[w.tail]
+		w.tail = (w.tail + 1) & (pfWindowSize - 1)
+		w.n--
+		w.set.del(old)
+	}
+	w.ring[(w.tail+w.n)&(pfWindowSize-1)] = line
+	w.n++
+	w.set.add(line)
+}
+
+// consume removes line from the live set (demand touched it); the FIFO entry
+// stays, exactly as the original kept consumed lines in pfOrder.
+func (w *pfWindow) consume(line uint64) { w.set.del(line) }
+
+// lineSetCap must be a power of two at least 2*pfWindowSize so that linear
+// probing stays short: the live set can never exceed the FIFO population.
+const lineSetCap = 2 * pfWindowSize
+
+// lineSet is an open-addressed hash set of cache-line numbers with linear
+// probing and backward-shift deletion. Occupancy lives in a separate bitset
+// so any uint64 value (including 0 and ^0) is a valid member.
+type lineSet struct {
+	slots [lineSetCap]uint64
+	used  [lineSetCap / 64]uint64
+}
+
+func (s *lineSet) home(line uint64) uint64 {
+	// Fibonacci hashing spreads clustered line numbers across the table.
+	return (line * 0x9E3779B97F4A7C15) >> (64 - 13) & (lineSetCap - 1)
+}
+
+func (s *lineSet) isUsed(i uint64) bool { return s.used[i>>6]&(1<<(i&63)) != 0 }
+func (s *lineSet) setUsed(i uint64)     { s.used[i>>6] |= 1 << (i & 63) }
+func (s *lineSet) clearUsed(i uint64)   { s.used[i>>6] &^= 1 << (i & 63) }
+
+// find returns the slot holding line, or ok=false after hitting an empty
+// slot on the probe path.
+func (s *lineSet) find(line uint64) (uint64, bool) {
+	for i := s.home(line); ; i = (i + 1) & (lineSetCap - 1) {
+		if !s.isUsed(i) {
+			return 0, false
+		}
+		if s.slots[i] == line {
+			return i, true
+		}
+	}
+}
+
+func (s *lineSet) has(line uint64) bool {
+	_, ok := s.find(line)
+	return ok
+}
+
+// add inserts line; the caller guarantees it is absent and that the table is
+// below capacity (live lines are bounded by pfWindowSize).
+func (s *lineSet) add(line uint64) {
+	i := s.home(line)
+	for s.isUsed(i) {
+		i = (i + 1) & (lineSetCap - 1)
+	}
+	s.slots[i] = line
+	s.setUsed(i)
+}
+
+// del removes line if present, backward-shifting the probe chain so that
+// find never crosses a spurious hole.
+func (s *lineSet) del(line uint64) {
+	i, ok := s.find(line)
+	if !ok {
+		return
+	}
+	j := i
+	for {
+		j = (j + 1) & (lineSetCap - 1)
+		if !s.isUsed(j) {
+			break
+		}
+		// The element at j may move into the hole at i iff its home slot is
+		// cyclically outside (i, j] — the standard linear-probing invariant.
+		if k := s.home(s.slots[j]); (j-k)&(lineSetCap-1) >= (j-i)&(lineSetCap-1) {
+			s.slots[i] = s.slots[j]
+			i = j
+		}
+	}
+	s.clearUsed(i)
+}
+
+// reset empties the set.
+func (s *lineSet) reset() {
+	s.used = [lineSetCap / 64]uint64{}
+}

@@ -6,12 +6,14 @@ import (
 	"ssp/internal/sim/mem"
 )
 
-// wrec is one in-flight instruction in an OOO window.
+// wrec is one in-flight instruction in an OOO window. Records live inside the
+// window's ring buffer and refer to their sources by absolute dispatch index
+// rather than by pointer, so dispatching allocates nothing.
 type wrec struct {
 	pc   int
 	fu   decode.FUClass
 	lat  int64
-	srcs [6]*wrec
+	srcs [6]int64
 	nsrc int
 
 	issued bool
@@ -25,15 +27,25 @@ type wrec struct {
 // window is a per-thread reorder buffer: dispatch appends, issue picks
 // data-ready records among the oldest RSSize unissued ones, retirement pops
 // from the head in order.
+//
+// Records are stored in a fixed power-of-two ring indexed by absolute
+// dispatch position: positions [headAbs, tailAbs) are live, and position a
+// lives at recs[a&mask]. A source or rename reference below headAbs points
+// at a retired record — retirement requires issued && doneAt <= now, so a
+// retired producer is always satisfied and the reference needs no storage to
+// prove it.
 type window struct {
-	recs []*wrec
-	head int
-	cap  int
+	recs    []wrec
+	mask    int64
+	headAbs int64
+	tailAbs int64
+	cap     int
 
-	rename [ir.NumLocs]*wrec
-	// blocked is a mispredicted branch that stalls dispatch until it
-	// issues; the misprediction penalty is charged when it resolves.
-	blocked *wrec
+	rename [ir.NumLocs]int64
+	// blocked is a mispredicted branch (by absolute position, -1 = none)
+	// that stalls dispatch until it issues; the misprediction penalty is
+	// charged when it resolves.
+	blocked int64
 	// haltAfterDrain stops dispatch and ends the thread once every
 	// dispatched instruction has issued and retired. Both halt and kill
 	// use it: a speculative thread's context is only freed when its
@@ -49,21 +61,45 @@ type window struct {
 	waitDrain bool
 }
 
-func newWindow(capacity int) *window {
-	return &window{recs: make([]*wrec, 0, capacity+8), cap: capacity}
+// reset returns w restored to an empty window of the given capacity, reusing
+// the ring when it is large enough and allocating one (also on a nil
+// receiver) when it is not. Threads keep their window across kill/start
+// cycles, so steady-state spawning reuses the same ring.
+func (w *window) reset(capacity int) *window {
+	ringCap := 1
+	for ringCap < capacity {
+		ringCap <<= 1
+	}
+	if w == nil || len(w.recs) < ringCap {
+		w = &window{recs: make([]wrec, ringCap)}
+	}
+	w.mask = int64(len(w.recs) - 1)
+	w.cap = capacity
+	w.headAbs, w.tailAbs = 0, 0
+	w.blocked = -1
+	w.haltAfterDrain, w.waitDrain = false, false
+	for i := range w.rename {
+		w.rename[i] = -1
+	}
+	return w
 }
 
-func (w *window) size() int  { return len(w.recs) - w.head }
-func (w *window) full() bool { return w.size() >= w.cap }
+func (w *window) size() int  { return int(w.tailAbs - w.headAbs) }
+func (w *window) full() bool { return w.tailAbs-w.headAbs >= int64(w.cap) }
 
-func (w *window) push(r *wrec) { w.recs = append(w.recs, r) }
+// at returns the record at absolute position a, which must be in
+// [headAbs, tailAbs).
+func (w *window) at(a int64) *wrec { return &w.recs[a&w.mask] }
 
-func (w *window) compact() {
-	if w.head > 4096 {
-		n := copy(w.recs, w.recs[w.head:])
-		w.recs = w.recs[:n]
-		w.head = 0
+// srcReady reports whether the source at absolute position a is satisfied: a
+// retired producer (below headAbs) is satisfied by construction, a live one
+// iff it has issued and completed.
+func (w *window) srcReady(a, now int64) bool {
+	if a < w.headAbs {
+		return true
 	}
+	r := w.at(a)
+	return r.issued && r.doneAt <= now
 }
 
 // runOOO is the 16-stage out-of-order model: per-thread 255-entry windows
@@ -74,7 +110,7 @@ func (w *window) compact() {
 // an exception-style flush, §4.4.1).
 func (m *Machine) runOOO() {
 	main := m.main()
-	main.win = newWindow(m.Cfg.ROBSize)
+	main.win = main.win.reset(m.Cfg.ROBSize)
 	var sel [maxSelect]*Thread
 
 	for !m.mainDone {
@@ -85,22 +121,26 @@ func (m *Machine) runOOO() {
 		m.now++
 
 		// Retire; a drained speculative thread that executed kill frees
-		// its context here (retirement-stage termination).
+		// its context here (retirement-stage termination). With no live
+		// speculative thread only main can retire.
 		retired := false
-		for _, t := range m.threads {
+		retireSet := m.threads
+		if m.liveSpec == 0 {
+			retireSet = m.threads[:1]
+		}
+		for _, t := range retireSet {
 			if !t.active || t.win == nil {
 				continue
 			}
 			w := t.win
-			for k := 0; k < m.Cfg.RetireWidth && w.head < len(w.recs); k++ {
-				r := w.recs[w.head]
+			for k := 0; k < m.Cfg.RetireWidth && w.headAbs < w.tailAbs; k++ {
+				r := w.at(w.headAbs)
 				if !r.issued || r.doneAt > m.now {
 					break
 				}
-				w.head++
+				w.headAbs++
 				retired = true
 			}
-			w.compact()
 			if w.haltAfterDrain && w.size() == 0 && t.spec {
 				m.killThread(t)
 			}
@@ -110,17 +150,31 @@ func (m *Machine) runOOO() {
 		n := 0
 		sel[n] = main
 		n++
-		for scan, picked := 0, 0; scan < len(m.threads) && picked < m.Cfg.ThreadsPerCycle-1 && n < len(sel); scan++ {
-			t := m.threads[(m.rr+scan)%len(m.threads)]
-			if t == main || !t.active {
-				continue
+		if m.liveSpec > 0 {
+			for scan, picked := 0, 0; scan < len(m.threads) && picked < m.Cfg.ThreadsPerCycle-1 && n < len(sel); scan++ {
+				// m.rr moves on every pick, so the index is recomputed from
+				// it each iteration; rr and scan are both < len, so one
+				// conditional subtract replaces the modulo.
+				idx := m.rr + scan
+				if idx >= len(m.threads) {
+					idx -= len(m.threads)
+				}
+				t := m.threads[idx]
+				if t == main || !t.active {
+					continue
+				}
+				sel[n] = t
+				n++
+				picked++
+				if m.rr = t.idx + 1; m.rr == len(m.threads) {
+					m.rr = 0
+				}
 			}
-			sel[n] = t
-			n++
-			picked++
-			m.rr = (t.idx + 1) % len(m.threads)
 		}
-		slots := m.Cfg.IssueWidth / n
+		slots := m.Cfg.IssueWidth
+		if n > 1 {
+			slots /= n
+		}
 
 		// Issue (wakeup/select).
 		intU, memU, brU, fpU := m.Cfg.IntUnits, m.Cfg.MemPorts, m.Cfg.BrUnits, m.Cfg.FPUnits
@@ -164,16 +218,15 @@ func (m *Machine) issueOOO(t *Thread, slots int, intU, memU, brU, fpU *int) int 
 	w := t.win
 	issued := 0
 	considered := 0
-	for i := w.head; i < len(w.recs) && issued < slots && considered < m.Cfg.RSSize; i++ {
-		r := w.recs[i]
+	for a := w.headAbs; a < w.tailAbs && issued < slots && considered < m.Cfg.RSSize; a++ {
+		r := w.at(a)
 		if r.issued {
 			continue
 		}
 		considered++
 		ready := true
 		for s := 0; s < r.nsrc; s++ {
-			src := r.srcs[s]
-			if !src.issued || src.doneAt > m.now {
+			if !w.srcReady(r.srcs[s], m.now) {
 				ready = false
 				break
 			}
@@ -222,9 +275,9 @@ func (m *Machine) issueOOO(t *Thread, slots int, intU, memU, brU, fpU *int) int 
 		default:
 			r.doneAt = m.now + r.lat
 		}
-		if w.blocked == r {
+		if w.blocked == a {
 			// Mispredicted branch resolves: refetch after the flush.
-			w.blocked = nil
+			w.blocked = -1
 			t.frontStallUntil = r.doneAt + m.Cfg.MispredictPenalty
 		}
 		issued++
@@ -240,7 +293,7 @@ func (m *Machine) dispatchOOO(t *Thread, slots int) int {
 	}
 	for k := 0; k < slots; k++ {
 		w := t.win
-		if t.frontStallUntil > m.now || w.blocked != nil || w.haltAfterDrain || w.full() {
+		if t.frontStallUntil > m.now || w.blocked >= 0 || w.haltAfterDrain || w.full() {
 			return k
 		}
 		if w.waitDrain {
@@ -262,11 +315,15 @@ func (m *Machine) dispatchOOO(t *Thread, slots int) int {
 			m.res.MainInstrs++
 		}
 
-		r := &wrec{pc: pc, fu: d.FU, lat: m.lat[d.Lat]}
+		// Claim the ring slot at the next absolute position; full() above
+		// guarantees it is free.
+		a := w.tailAbs
+		r := w.at(a)
+		*r = wrec{pc: pc, fu: d.FU, lat: m.lat[d.Lat]}
 		for _, loc := range d.Uses {
-			if p := w.rename[loc]; p != nil && !(p.issued && p.doneAt <= m.now) {
+			if pa := w.rename[loc]; pa >= w.headAbs && !w.srcReady(pa, m.now) {
 				if r.nsrc < len(r.srcs) {
-					r.srcs[r.nsrc] = p
+					r.srcs[r.nsrc] = pa
 					r.nsrc++
 				}
 			}
@@ -275,14 +332,14 @@ func (m *Machine) dispatchOOO(t *Thread, slots int) int {
 			r.memKind, r.memAddr, r.memID = ef.memKind, ef.memAddr, ef.memID
 		}
 		for _, loc := range d.Defs {
-			w.rename[loc] = r
+			w.rename[loc] = a
 		}
-		w.push(r)
+		w.tailAbs = a + 1
 
 		if ef.brCond {
 			if m.Pred.PredictAndTrain(uint64(pc), ef.brTaken && !ef.nullified) {
 				m.res.Mispredicts++
-				w.blocked = r
+				w.blocked = a
 			}
 		}
 		if d.Op == ir.OpChk && ef.nextPC != pc+1 {

@@ -209,7 +209,7 @@ func TestSSPSpeedsUpInOrderChase(t *testing.T) {
 	// And the main loop's loads now see partial hits on lines the slice
 	// already requested.
 	var partials uint64
-	for _, s := range enh.Hier.ByLoad {
+	for _, s := range enh.Hier.ByLoad() {
 		for lvl := mem.L2; lvl <= mem.Mem; lvl++ {
 			partials += s.Hits[lvl][1]
 		}
