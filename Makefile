@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet test race alloc-gate bench bench-diff bench-smoke sspcheck predecode-sweep fastforward-sweep hotpath-sweep fuzz-smoke cover
+.PHONY: check fmt vet test race alloc-gate bench bench-diff bench-smoke sspcheck predecode-sweep fastforward-sweep hotpath-sweep fuzz-smoke cover serve-smoke serve-load
 
 # check is the full gate: formatting, vet, the test suite under the race
 # detector (the concurrent experiment engine is exercised by internal/exp's
@@ -88,6 +88,20 @@ bench-diff:
 		echo "--- $(BENCH_BEFORE)"; grep '^Benchmark' $(BENCH_BEFORE); \
 		echo "--- $(BENCH_AFTER)"; grep '^Benchmark' $(BENCH_AFTER); \
 	fi
+
+# serve-smoke is the CI-sized exercise of the serving layer: an in-process
+# sspserved fed 3 passes over the full 28-cell matrix, every result validated
+# byte-for-byte against the golden-stats baseline. Fails on any request
+# error, any golden divergence, or a memo hit rate at or below 50%.
+serve-smoke:
+	$(GO) run ./cmd/serveload -jobs 84 -conc 8
+
+# serve-load is the full load test behind BENCH_serve.json: 2500 concurrent
+# jobs against an in-process server, golden-validated, with throughput,
+# latency quantiles, and hit rate recorded. Not wired into CI (timing noise);
+# run it when touching internal/serve and commit the refreshed numbers.
+serve-load:
+	$(GO) run ./cmd/serveload -jobs 2500 -conc 32 -out BENCH_serve.json
 
 # bench-smoke runs each internal/sim microbenchmark for a single iteration —
 # just enough to catch an execution-core change that breaks or pathologically

@@ -31,6 +31,15 @@ import (
 // exhibits lists the valid -only keys in output order.
 var exhibits = []string{"fig2", "table2", "fig8", "fig9", "fig10", "sec45", "ablations"}
 
+// options bundles the validated command-line parameters of one run.
+type options struct {
+	scale            exp.Scale
+	wanted           map[string]bool
+	workers          int
+	quiet            bool
+	cpuProf, memProf string
+}
+
 func main() {
 	var (
 		scale   = flag.String("scale", "paper", "experiment scale: paper or test")
@@ -41,6 +50,9 @@ func main() {
 		memProf = flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	)
 	flag.Parse()
+	// Usage errors exit 2 before any work (or profiling) starts; run
+	// errors exit 1 after run returns, so its deferred cleanup — the
+	// profile stop in particular — always fires.
 	sc, err := parseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -55,24 +67,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: -workers must be at least 1, got %d\n", *workers)
 		os.Exit(2)
 	}
-	want := func(k string) bool { return len(wanted) == 0 || wanted[k] }
-	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
-	if err != nil {
+	o := options{sc, wanted, *workers, *quiet, *cpuProf, *memProf}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(2)
-	}
-	defer stopProf()
-
-	s := exp.NewSuite(sc)
-	s.Workers = *workers
-	if !*quiet {
-		s.Progress = progressPrinter(os.Stderr)
-	}
-	if err := run(s, want); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		stopProf()
 		os.Exit(1)
 	}
+}
+
+func run(o options) error {
+	stopProf, err := cliutil.StartProfiles(o.cpuProf, o.memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	s := exp.NewSuite(o.scale)
+	s.Workers = o.workers
+	if !o.quiet {
+		s.Progress = progressPrinter(os.Stderr)
+	}
+	want := func(k string) bool { return len(o.wanted) == 0 || o.wanted[k] }
+	return emit(s, want)
 }
 
 // parseScale maps the -scale flag to a suite scale, rejecting typos instead
@@ -124,7 +138,8 @@ func progressPrinter(w *os.File) func(exp.RunKey, *sim.Result, time.Duration) {
 	}
 }
 
-func run(s *exp.Suite, want func(string) bool) error {
+// emit prints the requested exhibits in output order.
+func emit(s *exp.Suite, want func(string) bool) error {
 	f2 := func(v float64) string { return fmt.Sprintf("%.2f", v) }
 	if want("fig2") {
 		rows, err := s.Figure2()

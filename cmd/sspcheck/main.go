@@ -92,16 +92,24 @@ func main() {
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProf := flag.String("memprofile", "", "write an allocation profile of the sweep to this file")
 	flag.Parse()
-	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
-	if err != nil {
+	if err := run(o, *cpuProf, *memProf); err != nil {
 		fmt.Fprintln(os.Stderr, "sspcheck:", err)
-		os.Exit(2)
+		os.Exit(1)
+	}
+}
+
+// run does the whole sweep behind a single error return, so main's os.Exit
+// never skips the deferred profile stop (an exit mid-profile truncates the
+// CPU profile and loses the heap snapshot entirely).
+func run(o options, cpuProf, memProf string) error {
+	stopProf, err := cliutil.StartProfiles(cpuProf, memProf)
+	if err != nil {
+		return err
 	}
 	defer stopProf()
 	total, failures := sweep(o, os.Stdout, os.Stderr)
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "sspcheck: %d/%d seeds failed\n", failures, total)
-		stopProf()
-		os.Exit(1)
+		return fmt.Errorf("%d/%d seeds failed", failures, total)
 	}
+	return nil
 }

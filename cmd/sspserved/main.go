@@ -1,0 +1,110 @@
+// Command sspserved is the adapt+simulate service: a long-running HTTP
+// server that accepts jobs (a built-in benchmark or a source program, a
+// machine model, a treatment, tool options), runs the profile → adapt →
+// simulate pipeline, and memoizes results by content so identical jobs cost
+// one simulation.
+//
+// Usage:
+//
+//	sspserved -addr :8344 -workers 8 -queue 64
+//
+// Endpoints:
+//
+//	POST /jobs     submit a job (JSON body; SSE stream with
+//	               "Accept: text/event-stream")
+//	GET  /healthz  liveness (503 while draining)
+//	GET  /statz    counters: requests, hit/miss, capacity, machine pool
+//
+// On SIGTERM or SIGINT the server drains: it stops admitting jobs, finishes
+// the in-flight ones, then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ssp/internal/cliutil"
+	"ssp/internal/serve"
+)
+
+// options bundles the command-line parameters of one sspserved invocation.
+type options struct {
+	Addr       string
+	Workers    int
+	Queue      int
+	Timeout    time.Duration
+	DrainGrace time.Duration
+
+	CPUProfile, MemProfile string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.Addr, "addr", "localhost:8344", "listen address")
+	flag.IntVar(&o.Workers, "workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	flag.IntVar(&o.Queue, "queue", 0, "admission queue beyond the workers (0 = 4x workers)")
+	flag.DurationVar(&o.Timeout, "timeout", 120*time.Second, "default per-job deadline")
+	flag.DurationVar(&o.DrainGrace, "drain-grace", 30*time.Second, "how long to wait for in-flight jobs on shutdown")
+	flag.StringVar(&o.CPUProfile, "cpuprofile", "", "write a host CPU profile here")
+	flag.StringVar(&o.MemProfile, "memprofile", "", "write a host heap profile here")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "sspserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	stopProfiles, err := cliutil.StartProfiles(o.CPUProfile, o.MemProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
+
+	srv := serve.New(serve.Config{
+		Workers:        o.Workers,
+		Queue:          o.Queue,
+		DefaultTimeout: o.Timeout,
+	})
+	hs := &http.Server{Addr: o.Addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("sspserved: listening on %s", o.Addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: refuse new jobs, finish the in-flight tail, then
+	// close the listener. A second signal (stop() restored default
+	// handling) kills the process the usual way.
+	stop()
+	log.Printf("sspserved: draining (up to %s)", o.DrainGrace)
+	grace, cancel := context.WithTimeout(context.Background(), o.DrainGrace)
+	defer cancel()
+	drainErr := srv.Drain(grace)
+	if err := hs.Shutdown(grace); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	log.Printf("sspserved: drained cleanly")
+	return nil
+}

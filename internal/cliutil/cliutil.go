@@ -8,6 +8,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 
 	"ssp/internal/ir"
 	"ssp/internal/sim"
@@ -51,10 +52,15 @@ func LoadProgram(in, bench string, scale int) (*ir.Program, uint64, error) {
 // StartProfiles begins host-side CPU and/or heap profiling for a tool run
 // (the -cpuprofile/-memprofile flags of cmd/experiments and cmd/sspcheck).
 // Either path may be empty to skip that profile. The returned stop function
-// must run exactly once before exit — typically deferred from main — and
-// finishes both profiles: it stops the CPU profile and writes an allocs-
-// focused heap profile after a final GC, so hot-path work on the simulator is
-// measured rather than guessed.
+// must run before exit and finishes both profiles: it stops the CPU profile
+// and writes an allocs-focused heap profile after a final GC, so hot-path
+// work on the simulator is measured rather than guessed.
+//
+// stop is idempotent (extra calls are no-ops), so callers can both defer it
+// and call it on early-exit paths without double-finishing a profile. The
+// one pattern it cannot survive is os.Exit before any call — deferred
+// functions don't run then — which is why the commands keep their work in a
+// run() error function and only os.Exit from main after it returns.
 func StartProfiles(cpuPath, memPath string) (stop func(), err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
@@ -67,23 +73,26 @@ func StartProfiles(cpuPath, memPath string) (stop func(), err error) {
 			return nil, fmt.Errorf("cpu profile: %w", err)
 		}
 	}
+	var once sync.Once
 	return func() {
-		if cpuFile != nil {
-			pprof.StopCPUProfile()
-			cpuFile.Close()
-		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "memprofile:", err)
-				return
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
 			}
-			defer f.Close()
-			runtime.GC() // materialize the live heap before snapshotting
-			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "memprofile:", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC() // materialize the live heap before snapshotting
+				if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+					fmt.Fprintln(os.Stderr, "memprofile:", err)
+				}
 			}
-		}
+		})
 	}, nil
 }
 

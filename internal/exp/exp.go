@@ -14,12 +14,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"ssp/internal/check"
+	"ssp/internal/flight"
 	"ssp/internal/handtuned"
 	"ssp/internal/ir"
 	"ssp/internal/profile"
@@ -91,30 +93,18 @@ type Suite struct {
 	Progress func(key RunKey, res *sim.Result, wall time.Duration)
 
 	mu    sync.Mutex
-	progs map[string]*cell[*progSet]
-	decs  map[decodeKey]*cell[*decode.Program]
-	runs  map[RunKey]*cell[*sim.Result]
+	progs map[string]*flight.Cell[*progSet]
+	decs  map[decodeKey]*flight.Cell[*decode.Program]
+	runs  map[RunKey]*flight.Cell[*sim.Result]
 
 	// pool recycles machines across matrix cells: Machine.Reset rebinds a
 	// machine to a new (config, program) while reusing its memory pages,
 	// hierarchy, predictor tables, and per-thread buffers. Safe because Run
-	// detaches each Result's statistics from the machine.
-	pool sync.Pool
+	// detaches each Result's statistics from the machine. Only machines
+	// from clean completions go back (sim.Pool's discipline); a cancelled,
+	// failed, or panicked run's machine is dropped instead.
+	pool sim.Pool
 }
-
-// getMachine takes a pooled machine rebound to (cfg, dp), or builds one.
-func (s *Suite) getMachine(cfg sim.Config, dp *decode.Program) *sim.Machine {
-	if v := s.pool.Get(); v != nil {
-		m := v.(*sim.Machine)
-		m.Reset(cfg, dp)
-		return m
-	}
-	return sim.NewPredecoded(cfg, dp)
-}
-
-// putMachine returns a machine to the pool once its Result has been
-// extracted and verified.
-func (s *Suite) putMachine(m *sim.Machine) { s.pool.Put(m) }
 
 // decodeKey identifies one binary of the matrix: a benchmark adapted as a
 // variant. Machine models are deliberately absent — the predecoded image is
@@ -134,7 +124,7 @@ type progSet struct {
 	del  []int
 
 	mu       sync.Mutex
-	variants map[Variant]*cell[variantProg]
+	variants map[Variant]*flight.Cell[variantProg]
 }
 
 // variantProg pairs an adapted binary with the tool report that produced it
@@ -149,11 +139,14 @@ func NewSuite(s Scale) *Suite {
 	return &Suite{
 		Scale:   s,
 		Workers: runtime.GOMAXPROCS(0),
-		progs:   make(map[string]*cell[*progSet]),
-		decs:    make(map[decodeKey]*cell[*decode.Program]),
-		runs:    make(map[RunKey]*cell[*sim.Result]),
+		progs:   make(map[string]*flight.Cell[*progSet]),
+		decs:    make(map[decodeKey]*flight.Cell[*decode.Program]),
+		runs:    make(map[RunKey]*flight.Cell[*sim.Result]),
 	}
 }
+
+// PoolStats reports the suite's machine-reuse counters.
+func (s *Suite) PoolStats() sim.PoolStats { return s.pool.Stats() }
 
 // machineConfig returns the simulator configuration for a model at the
 // suite's scale.
@@ -185,21 +178,21 @@ func (s *Suite) scaleOf(spec workloads.Spec) int {
 
 // prog builds (once) the benchmark, its profile, and its delinquent set.
 // Concurrent callers for the same benchmark coalesce onto one build.
-func (s *Suite) prog(bench string) (*progSet, error) {
+func (s *Suite) prog(ctx context.Context, bench string) (*progSet, error) {
 	s.mu.Lock()
 	c, ok := s.progs[bench]
 	if !ok {
-		c = new(cell[*progSet])
+		c = new(flight.Cell[*progSet])
 		s.progs[bench] = c
 	}
 	s.mu.Unlock()
-	return c.do(func() (*progSet, error) {
+	return c.Do(ctx, func(ctx context.Context) (*progSet, error) {
 		spec, err := workloads.ByName(bench)
 		if err != nil {
 			return nil, err
 		}
 		orig, want := spec.Build(s.scaleOf(spec))
-		prof, err := profile.Collect(orig, s.machineConfig(sim.InOrder))
+		prof, err := profile.CollectContext(ctx, orig, s.machineConfig(sim.InOrder))
 		if err != nil {
 			return nil, fmt.Errorf("%s: profile: %w", bench, err)
 		}
@@ -210,7 +203,7 @@ func (s *Suite) prog(bench string) (*progSet, error) {
 			want:     want,
 			prof:     prof,
 			del:      prof.DelinquentLoads(opt.DelinquentCutoff, opt.MaxDelinquent),
-			variants: make(map[Variant]*cell[variantProg]),
+			variants: make(map[Variant]*flight.Cell[variantProg]),
 		}, nil
 	})
 }
@@ -240,8 +233,8 @@ func variantOptions(v Variant) (ssp.Options, bool) {
 // adapting on demand (once per variant; duplicate requests coalesce). The
 // report is nil for variants no tool run produces (base, the perfect-memory
 // bounds, and the hand adaptation).
-func (s *Suite) program(bench string, v Variant) (*ir.Program, *ssp.Report, error) {
-	ps, err := s.prog(bench)
+func (s *Suite) program(ctx context.Context, bench string, v Variant) (*ir.Program, *ssp.Report, error) {
+	ps, err := s.prog(ctx, bench)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -252,11 +245,11 @@ func (s *Suite) program(bench string, v Variant) (*ir.Program, *ssp.Report, erro
 	ps.mu.Lock()
 	c, ok := ps.variants[v]
 	if !ok {
-		c = new(cell[variantProg])
+		c = new(flight.Cell[variantProg])
 		ps.variants[v] = c
 	}
 	ps.mu.Unlock()
-	vp, err := c.do(func() (variantProg, error) {
+	vp, err := c.Do(ctx, func(ctx context.Context) (variantProg, error) {
 		if v == VarHand {
 			p, err := handtuned.Adapt(bench, ps.orig)
 			if err != nil {
@@ -285,7 +278,7 @@ func (s *Suite) program(bench string, v Variant) (*ir.Program, *ssp.Report, erro
 // hand adaptation) have no report; asking for one is an error rather than a
 // silent nil.
 func (s *Suite) Report(bench string, v Variant) (*ssp.Report, error) {
-	_, rep, err := s.program(bench, v)
+	_, rep, err := s.program(context.Background(), bench, v)
 	if err != nil {
 		return nil, err
 	}
@@ -298,17 +291,17 @@ func (s *Suite) Report(bench string, v Variant) (*ssp.Report, error) {
 // predecoded links and predecodes a benchmark variant's binary exactly once;
 // every cell over that binary — both machine models, all seeds of callers —
 // shares the immutable result. Duplicate in-flight requests coalesce.
-func (s *Suite) predecoded(bench string, v Variant) (*decode.Program, error) {
+func (s *Suite) predecoded(ctx context.Context, bench string, v Variant) (*decode.Program, error) {
 	key := decodeKey{bench, v}
 	s.mu.Lock()
 	c, ok := s.decs[key]
 	if !ok {
-		c = new(cell[*decode.Program])
+		c = new(flight.Cell[*decode.Program])
 		s.decs[key] = c
 	}
 	s.mu.Unlock()
-	return c.do(func() (*decode.Program, error) {
-		p, _, err := s.program(bench, v)
+	return c.Do(ctx, func(ctx context.Context) (*decode.Program, error) {
+		p, _, err := s.program(ctx, bench, v)
 		if err != nil {
 			return nil, err
 		}
@@ -324,15 +317,25 @@ func (s *Suite) predecoded(bench string, v Variant) (*decode.Program, error) {
 // verifying the result. Concurrent calls with the same key coalesce onto a
 // single simulation and share its result.
 func (s *Suite) Run(bench string, model sim.Model, v Variant) (*sim.Result, error) {
+	return s.RunContext(context.Background(), bench, model, v)
+}
+
+// RunContext is Run under a context: a cancelled simulation stops within one
+// cycle-loop iteration and returns ctx.Err(). Cancellation does not poison
+// the cell — the outcome is not cached (flight.Cell resets on context
+// errors), coalesced waiters with live contexts retry, and a later call with
+// a fresh context recomputes the cell. The abandoned machine is discarded
+// rather than pooled.
+func (s *Suite) RunContext(ctx context.Context, bench string, model sim.Model, v Variant) (*sim.Result, error) {
 	key := RunKey{bench, model, v}
 	s.mu.Lock()
 	c, ok := s.runs[key]
 	if !ok {
-		c = new(cell[*sim.Result])
+		c = new(flight.Cell[*sim.Result])
 		s.runs[key] = c
 	}
 	s.mu.Unlock()
-	return c.do(func() (*sim.Result, error) { return s.simulate(key, nil) })
+	return c.Do(ctx, func(ctx context.Context) (*sim.Result, error) { return s.simulate(ctx, key, nil) })
 }
 
 // RunInstrumented simulates a benchmark variant on a fresh machine with the
@@ -350,17 +353,26 @@ func (s *Suite) RunInstrumented(bench string, model sim.Model, v Variant, instru
 	if instrument == nil {
 		return nil, fmt.Errorf("exp: RunInstrumented without an instrument function (use Run)")
 	}
-	return s.simulate(RunKey{bench, model, v}, instrument)
+	return s.simulate(context.Background(), RunKey{bench, model, v}, instrument)
 }
 
 // simulate computes one cell of the matrix (no caching; Run wraps it, and
 // RunInstrumented calls it directly with an instrument hook installer).
-func (s *Suite) simulate(key RunKey, instrument func(*sim.Machine)) (*sim.Result, error) {
-	ps, err := s.prog(key.Bench)
+//
+// Machine lifecycle: the machine goes back to the pool only after a clean
+// completion — Run returned a verified, checksum-correct Result. Every other
+// exit (simulation error, cancellation, watchdog, checksum mismatch, or a
+// panic out of an instrumentation hook) discards it, so a poisoned machine
+// can never resurface under a later cell. A panic is recovered and reported
+// as the cell's error rather than unwinding into the worker pool: one bad
+// hook or one simulator bug fails its own cell (and, in the serving layer,
+// its own request) instead of the whole process.
+func (s *Suite) simulate(ctx context.Context, key RunKey, instrument func(*sim.Machine)) (res *sim.Result, err error) {
+	ps, err := s.prog(ctx, key.Bench)
 	if err != nil {
 		return nil, err
 	}
-	dp, err := s.predecoded(key.Bench, key.Variant)
+	dp, err := s.predecoded(ctx, key.Bench, key.Variant)
 	if err != nil {
 		return nil, err
 	}
@@ -372,12 +384,17 @@ func (s *Suite) simulate(key RunKey, instrument func(*sim.Machine)) (*sim.Result
 		cfg.Mem.PerfectDelinquent = true
 		cfg.Mem.DelinquentIDs = mem.NewIDSet(ps.del...)
 	}
-	m := s.getMachine(cfg, dp)
+	m := s.pool.Get(cfg, dp)
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("%s: panic during simulation: %v", key, r)
+		}
+	}()
 	if instrument != nil {
 		instrument(m)
 	}
 	start := time.Now()
-	res, err := m.Run()
+	res, err = m.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -387,9 +404,10 @@ func (s *Suite) simulate(key RunKey, instrument func(*sim.Machine)) (*sim.Result
 	if got := m.Mem.Load(workloads.ResultAddr); got != ps.want {
 		return nil, fmt.Errorf("%s: checksum %d, want %d", key, got, ps.want)
 	}
-	// The Result is detached from the machine, so the machine can go back to
-	// the pool before the result is validated or cached.
-	s.putMachine(m)
+	// Clean completion: the Result is detached from the machine, so the
+	// machine can go back to the pool before the result is validated or
+	// cached.
+	s.pool.Put(m)
 	if instrument != nil {
 		// Instrumented runs feed the caller, not the figures: the hooks may
 		// have detached the stats recorder the conservation layer checks, and

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -126,7 +127,7 @@ func (s *Suite) Figure9() ([]Fig9Row, error) {
 	}
 	var rows []Fig9Row
 	for _, b := range Benchmarks() {
-		ps, err := s.prog(b)
+		ps, err := s.prog(context.Background(), b)
 		if err != nil {
 			return nil, err
 		}

@@ -1,26 +1,18 @@
 package exp
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
 	"ssp/internal/sim"
 )
 
-// cell is a singleflight memoization slot. The first caller of do runs fn;
-// concurrent duplicates block on the same cell instead of racing, and the
-// outcome — value or error — is cached for every later caller. Simulation is
-// deterministic, so retrying a failed cell would only reproduce the failure.
-type cell[T any] struct {
-	once sync.Once
-	val  T
-	err  error
-}
-
-func (c *cell[T]) do(fn func() (T, error)) (T, error) {
-	c.once.Do(func() { c.val, c.err = fn() })
-	return c.val, c.err
-}
+// The per-key singleflight memoization behind the suite's caches lives in
+// internal/flight (flight.Cell), shared with the serving layer. Simulation
+// is deterministic, so a failed cell's error is cached — retrying would only
+// reproduce the failure; the exceptions are cancellation and transient
+// errors, which flight deliberately does not cache.
 
 // RunAll presimulates the given matrix cells on a pool of workers, filling
 // the suite's caches so subsequent serial Run/Speedup calls are hits.
@@ -32,6 +24,15 @@ func (c *cell[T]) do(fn func() (T, error)) (T, error) {
 // first failure in key order, so the outcome is deterministic regardless of
 // scheduling.
 func (s *Suite) RunAll(keys []RunKey, workers int) error {
+	return s.RunAllContext(context.Background(), keys, workers)
+}
+
+// RunAllContext is RunAll under a context. Once the context is cancelled,
+// in-flight cells stop promptly (sim-level cancellation), queued cells are
+// not started, and the first error in key order — here, ctx.Err() — is
+// returned. Cancelled cells are not cached, so a later RunAll recomputes
+// them.
+func (s *Suite) RunAllContext(ctx context.Context, keys []RunKey, workers int) error {
 	keys = dedupKeys(keys)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -51,7 +52,11 @@ func (s *Suite) RunAll(keys []RunKey, workers int) error {
 			defer wg.Done()
 			for i := range work {
 				k := keys[i]
-				_, errs[i] = s.Run(k.Bench, k.Model, k.Variant)
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				_, errs[i] = s.RunContext(ctx, k.Bench, k.Model, k.Variant)
 			}
 		}()
 	}

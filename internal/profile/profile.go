@@ -6,6 +6,7 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -37,12 +38,20 @@ type Profile struct {
 // Collect runs the program once on the given machine model with profiling
 // enabled and returns the feedback bundle.
 func Collect(p *ir.Program, cfg sim.Config) (*Profile, error) {
+	return CollectContext(context.Background(), p, cfg)
+}
+
+// CollectContext is Collect under a context: a cancelled profiling run
+// returns ctx.Err() promptly instead of simulating to completion. Profiling
+// is the first simulation of every adapt pipeline, so cancellable serving
+// paths need the ctx to reach it.
+func CollectContext(ctx context.Context, p *ir.Program, cfg sim.Config) (*Profile, error) {
 	img, err := ir.Link(p)
 	if err != nil {
 		return nil, err
 	}
 	cfg.Profile = true
-	res, err := sim.New(cfg, img).Run()
+	res, err := sim.New(cfg, img).RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"ssp/internal/ir"
+	"ssp/internal/sim"
+	"ssp/internal/ssp"
+	"ssp/internal/workloads"
+)
+
+// JobSpec is the wire format of one adapt+simulate job. Exactly one of Bench
+// (a built-in benchmark) and Source (a program in the tool's assembly syntax)
+// must be set.
+type JobSpec struct {
+	// Bench names a built-in benchmark kernel (workloads.All).
+	Bench string `json:"bench,omitempty"`
+	// Source is an assembly program (the ir syntax). Source jobs carry no
+	// expected checksum, so the answer-verification step is skipped; every
+	// other gate (watchdog, conservation) still applies.
+	Source string `json:"source,omitempty"`
+	// Model is the machine model: "in-order" (or "io") or "ooo".
+	Model string `json:"model"`
+	// Variant selects the binary treatment: "base" (default; simulate the
+	// program as-is) or "ssp" (profile, adapt with the post-pass tool,
+	// simulate the enhanced binary).
+	Variant string `json:"variant,omitempty"`
+	// Scale selects experiment sizing: "test" (default) or "paper". It
+	// picks the benchmark working-set size and the memory-system scale,
+	// exactly like exp.Scale.
+	Scale string `json:"scale,omitempty"`
+	// Options tunes the adaptation: a possibly-partial ssp.Options object
+	// layered over ssp.DefaultOptions, so {"ChainUnroll": 2} changes one
+	// knob without zeroing the rest. Unknown option names are rejected.
+	// Only meaningful with Variant "ssp".
+	Options json.RawMessage `json:"options,omitempty"`
+	// TimeoutMS bounds the job's wall time; 0 uses the server default.
+	// Deliberately excluded from the cache key: a result is the same
+	// result no matter how long the client was willing to wait for it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// job is a validated, canonicalized JobSpec: defaults applied, model names
+// normalized, options concretized. Everything in it except timeout feeds the
+// cache key.
+type job struct {
+	Bench   string
+	Source  string
+	Model   sim.Model
+	Variant string
+	Test    bool // test scale (vs paper scale)
+	Options ssp.Options
+
+	timeout time.Duration
+}
+
+const (
+	varBase = "base"
+	varSSP  = "ssp"
+)
+
+// normalize validates a JobSpec and resolves it to its canonical form.
+// Errors from here are client errors (HTTP 400).
+func (s *JobSpec) normalize(defaultTimeout time.Duration) (job, error) {
+	var j job
+	switch {
+	case s.Bench != "" && s.Source != "":
+		return j, fmt.Errorf("specify either bench or source, not both")
+	case s.Bench != "":
+		if _, err := workloads.ByName(s.Bench); err != nil {
+			return j, err
+		}
+		j.Bench = s.Bench
+	case s.Source != "":
+		if _, err := ir.Parse(s.Source); err != nil {
+			return j, fmt.Errorf("source: %w", err)
+		}
+		j.Source = s.Source
+	default:
+		return j, fmt.Errorf("specify bench or source")
+	}
+	switch s.Model {
+	case "in-order", "io":
+		j.Model = sim.InOrder
+	case "ooo", "out-of-order":
+		j.Model = sim.OOO
+	default:
+		return j, fmt.Errorf("unknown model %q (want in-order or ooo)", s.Model)
+	}
+	switch s.Variant {
+	case "", varBase:
+		j.Variant = varBase
+	case varSSP:
+		j.Variant = varSSP
+	default:
+		return j, fmt.Errorf("unknown variant %q (want base or ssp)", s.Variant)
+	}
+	switch s.Scale {
+	case "", "test":
+		j.Test = true
+	case "paper":
+		j.Test = false
+	default:
+		return j, fmt.Errorf("unknown scale %q (want test or paper)", s.Scale)
+	}
+	j.Options = ssp.DefaultOptions()
+	if len(s.Options) > 0 && string(s.Options) != "null" {
+		if j.Variant != varSSP {
+			return j, fmt.Errorf("options are only meaningful with variant %q", varSSP)
+		}
+		dec := json.NewDecoder(bytes.NewReader(s.Options))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&j.Options); err != nil {
+			return j, fmt.Errorf("options: %w", err)
+		}
+	}
+	if s.TimeoutMS < 0 {
+		return j, fmt.Errorf("negative timeout_ms")
+	}
+	j.timeout = defaultTimeout
+	if s.TimeoutMS > 0 {
+		j.timeout = time.Duration(s.TimeoutMS) * time.Millisecond
+	}
+	return j, nil
+}
+
+// key is the job's content address: the hex SHA-256 of its canonical form.
+// Identical work — same program, same scale, same model, same treatment,
+// same options — hashes identically no matter how the client phrased the
+// request, so duplicates coalesce and repeats hit the cache.
+func (j job) key() string {
+	canon := struct {
+		Bench   string
+		Source  string
+		Model   string
+		Variant string
+		Test    bool
+		Options ssp.Options
+	}{j.Bench, j.Source, j.Model.String(), j.Variant, j.Test, j.Options}
+	data, err := json.Marshal(canon)
+	if err != nil {
+		// Every field is a plain value; Marshal cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// progKey identifies a built+profiled program: which program, at which scale.
+// Variants and options are absent — every treatment of a program shares one
+// build and one profiling run.
+type progKey struct {
+	Bench  string
+	Source string
+	Test   bool
+}
+
+// buildKey identifies one adapted, linked, predecoded binary. Model is
+// absent: the predecoded image is config-independent, so the in-order and
+// OOO cells share it (same sharing exp.Suite exploits).
+type buildKey struct {
+	progKey
+	Variant string
+	Options ssp.Options
+}
+
+// JobResult is the cached, client-visible outcome of a job: the stat vector
+// the paper's figures are computed from. Field names match the golden-stats
+// baseline (internal/exp/testdata/golden_stats.json) so results can be
+// compared against it byte-for-byte.
+type JobResult struct {
+	Cycles      int64
+	Breakdown   [sim.NumCategories]int64
+	MainInstrs  int64
+	SpecInstrs  int64
+	Spawns      int64
+	ChkTaken    int64
+	Mispredicts int64
+
+	MemAccesses uint64
+	MemL1Hits   uint64
+	MissCycles  uint64
+	TLBMisses   uint64
+
+	// Slices is the adaptation's p-slice count (Table 2); zero for base
+	// variants, which run no tool.
+	Slices int `json:",omitempty"`
+}
+
+func toJobResult(res *sim.Result, slices int) *JobResult {
+	return &JobResult{
+		Cycles:      res.Cycles,
+		Breakdown:   res.Breakdown,
+		MainInstrs:  res.MainInstrs,
+		SpecInstrs:  res.SpecInstrs,
+		Spawns:      res.Spawns,
+		ChkTaken:    res.ChkTaken,
+		Mispredicts: res.Mispredicts,
+		MemAccesses: res.Hier.Totals.Accesses,
+		MemL1Hits:   res.Hier.Totals.Hits[0][0],
+		MissCycles:  res.Hier.Totals.MissCycles,
+		TLBMisses:   res.Hier.Totals.TLBMisses,
+		Slices:      slices,
+	}
+}
+
+// JobResponse is the envelope around a completed job: the result plus
+// per-request metadata (the content key, whether this request was served
+// from cache, and how long it waited).
+type JobResponse struct {
+	Key    string     `json:"key"`
+	Cached bool       `json:"cached"`
+	WallMS float64    `json:"wall_ms"`
+	Result *JobResult `json:"result"`
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// progressInterval is how often a streaming job reports its cycle count.
+// Coarse on purpose: progress is for humans and dashboards, and a busy
+// server should spend its time simulating, not flushing.
+const progressInterval = 50 * time.Millisecond
+
+// wantsSSE reports whether the client asked for a server-sent-event stream.
+func wantsSSE(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// sseWriter frames server-sent events over a flushable ResponseWriter.
+type sseWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func newSSE(w http.ResponseWriter) (*sseWriter, error) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		return nil, fmt.Errorf("serve: response writer does not support streaming")
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	f.Flush()
+	return &sseWriter{w, f}, nil
+}
+
+// event writes one named event with a JSON payload and flushes it.
+func (s *sseWriter) event(name string, data any) {
+	payload, err := json.Marshal(data)
+	if err != nil {
+		payload = []byte(`{}`)
+	}
+	fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, payload)
+	s.f.Flush()
+}
+
+// progressEvent is the payload of "progress" events: simulated cycles so far.
+type progressEvent struct {
+	Cycles int64 `json:"cycles"`
+}
+
+// errorEvent is the payload of "error" events.
+type errorEvent struct {
+	Status int    `json:"status"`
+	Error  string `json:"error"`
+}
+
+// streamJob runs a job while narrating it over SSE: a "queued" event on
+// admission, "progress" events with the live cycle count while the
+// simulation runs (coalesced requests watch the same counter as the request
+// actually running it), then exactly one terminal "result" or "error" event.
+// The HTTP status is 200 regardless — errors ride inside the stream, as SSE
+// requires once the header is out.
+func (s *Server) streamJob(ctx context.Context, w http.ResponseWriter, j job, rc *runCell) {
+	sse, err := newSSE(w)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotImplemented)
+		return
+	}
+	sse.event("queued", map[string]string{"key": j.key()})
+
+	start := time.Now()
+	type outcome struct {
+		res *JobResult
+		hit bool
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, hit, err := s.runJob(ctx, j, rc)
+		done <- outcome{res, hit, err}
+	}()
+
+	tick := time.NewTicker(progressInterval)
+	defer tick.Stop()
+	var last int64 = -1
+	for {
+		select {
+		case o := <-done:
+			if o.err != nil {
+				sse.event("error", errorEvent{Status: statusOf(o.err), Error: o.err.Error()})
+				return
+			}
+			sse.event("result", JobResponse{
+				Key:    j.key(),
+				Cached: o.hit,
+				WallMS: float64(time.Since(start)) / float64(time.Millisecond),
+				Result: o.res,
+			})
+			return
+		case <-tick.C:
+			if c := rc.cycles.Load(); c != last {
+				last = c
+				sse.event("progress", progressEvent{Cycles: c})
+			}
+		case <-ctx.Done():
+			// Client gone or deadline hit; the runner (if it is ours)
+			// stops via the same ctx. Drain the outcome so the goroutine
+			// exits, then report if anyone is still listening.
+			o := <-done
+			if o.err == nil {
+				sse.event("result", JobResponse{Key: j.key(), Cached: o.hit, Result: o.res})
+			} else {
+				sse.event("error", errorEvent{Status: statusOf(o.err), Error: o.err.Error()})
+			}
+			return
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"sync/atomic"
+
 	"ssp/internal/ir"
 	"ssp/internal/sim/mem"
 )
@@ -68,6 +70,31 @@ func (statsHooks) Cycle(m *Machine, main *Thread, s CycleStats) {
 func (statsHooks) Skip(m *Machine, main *Thread, s CycleStats, cycles int64) {
 	m.accountCycles(main, s.IssuedMain, s.StalledOnLoad, s.StallLevel, cycles)
 	m.res.SpecActiveHist[m.liveSpec] += cycles
+}
+
+// ProgressHooks is statsHooks plus a live cycle counter: it keeps the exact
+// default accounting (the Result stays bit-identical, so a run observed this
+// way is still cacheable and still passes the golden-stats and conservation
+// gates) while publishing the machine's current cycle to C after every cycle
+// and every fast-forward jump. Because it implements Skip, installing it does
+// not turn the fast-forward core off. The serving layer installs one per job
+// to stream progress over SSE without giving up memoization.
+type ProgressHooks struct {
+	inner statsHooks
+	// C receives the count of completed simulated cycles; read it with
+	// Load from any goroutine.
+	C *atomic.Int64
+}
+
+func (p ProgressHooks) Cycle(m *Machine, main *Thread, s CycleStats) {
+	p.inner.Cycle(m, main, s)
+	p.C.Store(m.now)
+}
+
+func (p ProgressHooks) Skip(m *Machine, main *Thread, s CycleStats, cycles int64) {
+	p.inner.Skip(m, main, s, cycles)
+	// Skip fires before the engine advances m.now to the jump target.
+	p.C.Store(m.now + cycles)
 }
 
 // profileHooks maintains Result.PCCount and Result.CallEdges when

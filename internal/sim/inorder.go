@@ -19,6 +19,12 @@ func (m *Machine) runInOrder() {
 			m.res.TimedOut = true
 			return
 		}
+		if m.stop.Load() {
+			// Cancelled via RunContext: bail between cycles, so the jump
+			// target of an in-progress fast-forward hop is the most a
+			// cancelled run overshoots by.
+			return
+		}
 		m.now++
 		intU, memU, brU, fpU := m.Cfg.IntUnits, m.Cfg.MemPorts, m.Cfg.BrUnits, m.Cfg.FPUnits
 

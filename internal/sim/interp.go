@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"ssp/internal/ir"
@@ -54,11 +55,18 @@ func InterpretPredecoded(cfg Config, dp *decode.Program, maxInstrs int64) (*Inte
 
 // RunProgram links and runs a program under the given configuration.
 func RunProgram(cfg Config, p *ir.Program) (*Result, error) {
+	return RunProgramContext(context.Background(), cfg, p)
+}
+
+// RunProgramContext is RunProgram under a context: a cancelled run returns
+// ctx.Err() promptly (see Machine.RunContext) instead of simulating on to
+// the watchdog limit.
+func RunProgramContext(ctx context.Context, cfg Config, p *ir.Program) (*Result, error) {
 	img, err := ir.Link(p)
 	if err != nil {
 		return nil, err
 	}
-	res, err := New(cfg, img).Run()
+	res, err := New(cfg, img).RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}

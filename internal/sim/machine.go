@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"ssp/internal/ir"
 	"ssp/internal/sim/bpred"
@@ -124,6 +127,14 @@ type Machine struct {
 	// spare contexts, it leaves the context-utilization accounting honest.
 	noSpec bool
 
+	// stop is the cancellation flag behind RunContext: an AfterFunc on the
+	// run's context sets it, and the engines poll it once per cycle-loop
+	// iteration (the same granularity as the watchdog check), so a
+	// cancelled run returns within one simulated cycle or one fast-forward
+	// hop. It costs runs without a cancellable context one predictable
+	// load-and-branch per cycle.
+	stop atomic.Bool
+
 	mainDone bool
 	rr       int // round-robin cursor over speculative threads
 	// liveSpec counts active speculative threads, maintained at the single
@@ -207,6 +218,7 @@ func (m *Machine) Reset(cfg Config, dp *decode.Program) {
 		}
 	}
 	m.now = 0
+	m.stop.Store(false)
 	m.res = Result{}
 	m.ef = archEffect{}
 	m.exec = nil
@@ -296,7 +308,36 @@ func (m *Machine) killThread(t *Thread) {
 
 // Run executes the program to completion of the main thread and returns the
 // result. It dispatches on the configured model.
-func (m *Machine) Run() (*Result, error) {
+func (m *Machine) Run() (*Result, error) { return m.RunContext(context.Background()) }
+
+// ErrInterrupted is returned by a run stopped with Interrupt when the run's
+// context (if any) is still live — the interrupt, not the context, ended it.
+var ErrInterrupted = errors.New("sim: run interrupted")
+
+// Interrupt asks a running machine to stop at its next cycle-loop iteration.
+// It is safe to call from any goroutine — including the machine's own hooks,
+// where it takes effect synchronously, before the next cycle. RunContext uses
+// it as the context's AfterFunc; direct callers without a cancelled context
+// get ErrInterrupted back from the run.
+func (m *Machine) Interrupt() { m.stop.Store(true) }
+
+// RunContext is Run under a context: when ctx is cancelled or its deadline
+// expires, the engine stops at the next cycle-loop iteration — within one
+// simulated cycle, or one fast-forward hop when the timing core is jumping —
+// and RunContext returns nil and ctx.Err() instead of running on to the
+// watchdog limit. A cancelled machine holds a half-finished run; Reset
+// restores it completely (the hot-path equivalence gate proves Reset equals
+// fresh construction), but pooling layers discard it anyway and only recycle
+// machines from clean completions.
+func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
+	if ctx.Done() != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m.stop.Store(false)
+		cancel := context.AfterFunc(ctx, m.Interrupt)
+		defer cancel()
+	}
 	m.main().active = true
 	m.main().pc = m.Img.Entry
 	switch m.Cfg.Model {
@@ -306,6 +347,15 @@ func (m *Machine) Run() (*Result, error) {
 		m.runOOO()
 	default:
 		return nil, fmt.Errorf("sim: unknown model %v", m.Cfg.Model)
+	}
+	if m.stop.Load() && !m.mainDone && !m.res.TimedOut {
+		// The engine bailed out at the stop check; the context, not the
+		// program, ended this run. (A run that completed or timed out in
+		// the same cycle the context fired still reports its real outcome.)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, ErrInterrupted
 	}
 	m.res.Cycles = m.now
 	// Detach the statistics so the Result stays valid when the machine is

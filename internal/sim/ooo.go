@@ -118,6 +118,10 @@ func (m *Machine) runOOO() {
 			m.res.TimedOut = true
 			return
 		}
+		if m.stop.Load() {
+			// Cancelled via RunContext: bail between cycles.
+			return
+		}
 		m.now++
 
 		// Retire; a drained speculative thread that executed kill frees
