@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet test race alloc-gate bench bench-diff bench-smoke sspcheck predecode-sweep fastforward-sweep hotpath-sweep fuzz-smoke cover serve-smoke serve-load
+.PHONY: check fmt vet test race alloc-gate bench bench-diff bench-smoke sspcheck predecode-sweep fastforward-sweep hotpath-sweep fuzz-smoke cover serve-smoke serve-load tune-smoke tune-bench
 
 # check is the full gate: formatting, vet, the test suite under the race
 # detector (the concurrent experiment engine is exercised by internal/exp's
@@ -102,6 +102,21 @@ serve-smoke:
 # run it when touching internal/serve and commit the refreshed numbers.
 serve-load:
 	$(GO) run ./cmd/serveload -jobs 2500 -conc 32 -out BENCH_serve.json
+
+# tune-smoke is the CI-sized exercise of the closed-loop tuner: the quick
+# grid on mcf at test scale, two re-profiling rounds per candidate. Every
+# round passes the metamorphic/conservation gates or the run fails, and
+# -require-converged makes a non-converging search a hard failure.
+tune-smoke:
+	$(GO) run ./cmd/ssptune -scale test -bench mcf -rounds 2 -grid quick -quiet -require-converged
+
+# tune-bench regenerates BENCH_tune.json: the full options grid on mcf at
+# paper scale (the §4.5 configuration), recording the best configuration and
+# the per-round speedup trajectory of every candidate. Takes minutes; not
+# wired into CI. Run it when touching internal/tune or the adaptation tool
+# and commit the refreshed numbers.
+tune-bench:
+	$(GO) run ./cmd/ssptune -scale paper -bench mcf -rounds 3 -grid full -require-converged -out BENCH_tune.json
 
 # bench-smoke runs each internal/sim microbenchmark for a single iteration —
 # just enough to catch an execution-core change that breaks or pathologically

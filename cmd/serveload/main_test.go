@@ -1,0 +1,49 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestRunInProcess drives the load harness end to end against its own
+// in-process server: every result must validate against the golden baseline
+// and the memoization hit rate must clear the acceptance bar (run returns an
+// error otherwise). 84 jobs = 3 laps over the 28-cell matrix, so 2/3 of the
+// requests are guaranteed cache hits.
+func TestRunInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives 84 jobs over the full benchmark matrix")
+	}
+	o := options{
+		Jobs:     84,
+		Conc:     8,
+		SSEEvery: 10,
+		Golden:   filepath.Join("..", "..", "internal", "exp", "testdata", "golden_stats.json"),
+		Out:      filepath.Join(t.TempDir(), "serve.json"),
+	}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantileMS pins the quantile helper's edge cases.
+func TestQuantileMS(t *testing.T) {
+	if got := quantileMS(nil, 0.5); got != 0 {
+		t.Errorf("quantile of empty = %v", got)
+	}
+	sorted := []int64{1, 2, 3, 4}
+	var ds []time.Duration
+	for _, ms := range sorted {
+		ds = append(ds, time.Duration(ms)*time.Millisecond)
+	}
+	if got := quantileMS(ds, 0.5); got != 2 {
+		t.Errorf("p50 of 1..4ms = %v, want 2", got)
+	}
+	if got := quantileMS(ds, 1); got != 4 {
+		t.Errorf("p100 of 1..4ms = %v, want 4", got)
+	}
+	if got := quantileMS(ds, 0.01); got != 1 {
+		t.Errorf("p1 of 1..4ms = %v, want 1 (clamped)", got)
+	}
+}

@@ -2,11 +2,13 @@
 // server that accepts jobs (a built-in benchmark or a source program, a
 // machine model, a treatment, tool options), runs the profile → adapt →
 // simulate pipeline, and memoizes results by content so identical jobs cost
-// one simulation.
+// one simulation. With -tune it also accepts closed-loop tuning jobs
+// (JobSpec.Tune), which run the internal/tune options search.
 //
 // Usage:
 //
 //	sspserved -addr :8344 -workers 8 -queue 64
+//	sspserved -tune                      # also admit tune-mode jobs
 //
 // Endpoints:
 //
@@ -25,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -42,6 +45,7 @@ type options struct {
 	Queue      int
 	Timeout    time.Duration
 	DrainGrace time.Duration
+	EnableTune bool
 
 	CPUProfile, MemProfile string
 }
@@ -53,16 +57,21 @@ func main() {
 	flag.IntVar(&o.Queue, "queue", 0, "admission queue beyond the workers (0 = 4x workers)")
 	flag.DurationVar(&o.Timeout, "timeout", 120*time.Second, "default per-job deadline")
 	flag.DurationVar(&o.DrainGrace, "drain-grace", 30*time.Second, "how long to wait for in-flight jobs on shutdown")
+	flag.BoolVar(&o.EnableTune, "tune", false, "admit tune-mode jobs (closed-loop options search; many simulations per job)")
 	flag.StringVar(&o.CPUProfile, "cpuprofile", "", "write a host CPU profile here")
 	flag.StringVar(&o.MemProfile, "memprofile", "", "write a host heap profile here")
 	flag.Parse()
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "sspserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(o options) error {
+// run starts the server and blocks until the listener fails or a shutdown
+// signal (or parent cancellation) starts the drain. If ready is non-nil, the
+// bound listen address is sent on it once the server is accepting — the hook
+// tests use to run against ":0".
+func run(parent context.Context, o options, ready chan<- string) error {
 	stopProfiles, err := cliutil.StartProfiles(o.CPUProfile, o.MemProfile)
 	if err != nil {
 		return err
@@ -73,17 +82,25 @@ func run(o options) error {
 		Workers:        o.Workers,
 		Queue:          o.Queue,
 		DefaultTimeout: o.Timeout,
+		EnableTune:     o.EnableTune,
 	})
-	hs := &http.Server{Addr: o.Addr, Handler: srv}
+	ln, err := net.Listen("tcp", o.Addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("sspserved: listening on %s", o.Addr)
-		errc <- hs.ListenAndServe()
+		log.Printf("sspserved: listening on %s", ln.Addr())
+		errc <- hs.Serve(ln)
 	}()
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
 
 	select {
 	case err := <-errc:

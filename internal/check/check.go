@@ -167,15 +167,29 @@ func Metamorphic(cfgs []sim.Config, orig, adapted *ir.Program) error {
 		if err != nil {
 			return fmt.Errorf("check: metamorphic adapted: %w", err)
 		}
-		if err := compareRegs(resA.FinalRegs, resO.FinalRegs, true, "adapted vs original"); err != nil {
-			return fmt.Errorf("check: metamorphic %v: %w", cfg.Model, err)
+		if err := MetamorphicResults(resO, resA); err != nil {
+			return fmt.Errorf("%v: %w", cfg.Model, err)
 		}
-		if resA.MemChecksum != resO.MemChecksum {
-			return fmt.Errorf("check: metamorphic %v: adapted memory checksum %#x, original %#x", cfg.Model, resA.MemChecksum, resO.MemChecksum)
-		}
-		if resA.SpecStores != 0 {
-			return fmt.Errorf("check: metamorphic %v: speculative threads attempted %d stores", cfg.Model, resA.SpecStores)
-		}
+	}
+	return nil
+}
+
+// MetamorphicResults applies the metamorphic invariant to two results that
+// were already computed on the same machine model and inputs: the adapted
+// run must reproduce the original's main-thread architectural state
+// (registers minus the reserved scratch, memory checksum) and its
+// speculative threads must never store. Callers that already hold both
+// results — the closed-loop tuner gates every round this way — avoid the
+// four fresh simulations Metamorphic performs.
+func MetamorphicResults(orig, adapted *sim.Result) error {
+	if err := compareRegs(adapted.FinalRegs, orig.FinalRegs, true, "adapted vs original"); err != nil {
+		return fmt.Errorf("check: metamorphic: %w", err)
+	}
+	if adapted.MemChecksum != orig.MemChecksum {
+		return fmt.Errorf("check: metamorphic: adapted memory checksum %#x, original %#x", adapted.MemChecksum, orig.MemChecksum)
+	}
+	if adapted.SpecStores != 0 {
+		return fmt.Errorf("check: metamorphic: speculative threads attempted %d stores", adapted.SpecStores)
 	}
 	return nil
 }

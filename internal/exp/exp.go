@@ -15,6 +15,8 @@ package exp
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"runtime"
 	"sync"
@@ -97,6 +99,13 @@ type Suite struct {
 	decs  map[decodeKey]*flight.Cell[*decode.Program]
 	runs  map[RunKey]*flight.Cell[*sim.Result]
 
+	// Options-parameterized cells (the auto-tuner's search points). They
+	// are keyed on ssp.Options.Key() — the canonical encoding of every
+	// option field — never on a summary of it: two configurations that
+	// differ in any knob, however minor, must not share a cell.
+	optDecs map[optDecodeKey]*flight.Cell[*decode.Program]
+	optRuns map[optRunKey]*flight.Cell[*sim.Result]
+
 	// pool recycles machines across matrix cells: Machine.Reset rebinds a
 	// machine to a new (config, program) while reusing its memory pages,
 	// hierarchy, predictor tables, and per-thread buffers. Safe because Run
@@ -115,6 +124,20 @@ type decodeKey struct {
 	Variant Variant
 }
 
+// optDecodeKey identifies one options-adapted, linked, predecoded binary.
+// Like decodeKey, the model is absent: the image is config-independent.
+type optDecodeKey struct {
+	Bench  string
+	OptKey string
+}
+
+// optRunKey identifies one options-parameterized simulation cell.
+type optRunKey struct {
+	Bench  string
+	Model  sim.Model
+	OptKey string
+}
+
 // progSet is one benchmark's built program, profile, and adapted variants.
 type progSet struct {
 	spec workloads.Spec
@@ -123,8 +146,9 @@ type progSet struct {
 	prof *profile.Profile
 	del  []int
 
-	mu       sync.Mutex
-	variants map[Variant]*flight.Cell[variantProg]
+	mu          sync.Mutex
+	variants    map[Variant]*flight.Cell[variantProg]
+	optVariants map[string]*flight.Cell[variantProg]
 }
 
 // variantProg pairs an adapted binary with the tool report that produced it
@@ -142,6 +166,8 @@ func NewSuite(s Scale) *Suite {
 		progs:   make(map[string]*flight.Cell[*progSet]),
 		decs:    make(map[decodeKey]*flight.Cell[*decode.Program]),
 		runs:    make(map[RunKey]*flight.Cell[*sim.Result]),
+		optDecs: make(map[optDecodeKey]*flight.Cell[*decode.Program]),
+		optRuns: make(map[optRunKey]*flight.Cell[*sim.Result]),
 	}
 }
 
@@ -198,12 +224,13 @@ func (s *Suite) prog(ctx context.Context, bench string) (*progSet, error) {
 		}
 		opt := ssp.DefaultOptions()
 		return &progSet{
-			spec:     spec,
-			orig:     orig,
-			want:     want,
-			prof:     prof,
-			del:      prof.DelinquentLoads(opt.DelinquentCutoff, opt.MaxDelinquent),
-			variants: make(map[Variant]*flight.Cell[variantProg]),
+			spec:        spec,
+			orig:        orig,
+			want:        want,
+			prof:        prof,
+			del:         prof.DelinquentLoads(opt.DelinquentCutoff, opt.MaxDelinquent),
+			variants:    make(map[Variant]*flight.Cell[variantProg]),
+			optVariants: make(map[string]*flight.Cell[variantProg]),
 		}, nil
 	})
 }
@@ -367,7 +394,7 @@ func (s *Suite) RunInstrumented(bench string, model sim.Model, v Variant, instru
 // as the cell's error rather than unwinding into the worker pool: one bad
 // hook or one simulator bug fails its own cell (and, in the serving layer,
 // its own request) instead of the whole process.
-func (s *Suite) simulate(ctx context.Context, key RunKey, instrument func(*sim.Machine)) (res *sim.Result, err error) {
+func (s *Suite) simulate(ctx context.Context, key RunKey, instrument func(*sim.Machine)) (*sim.Result, error) {
 	ps, err := s.prog(ctx, key.Bench)
 	if err != nil {
 		return nil, err
@@ -384,6 +411,14 @@ func (s *Suite) simulate(ctx context.Context, key RunKey, instrument func(*sim.M
 		cfg.Mem.PerfectDelinquent = true
 		cfg.Mem.DelinquentIDs = mem.NewIDSet(ps.del...)
 	}
+	return s.execute(ctx, key, cfg, dp, ps.want, instrument, true)
+}
+
+// execute runs one simulation under the suite's full machine-lifecycle and
+// validation discipline (see simulate's doc comment): pooled machine, panic
+// containment, watchdog and answer-checksum gates, conservation check and —
+// when narrate is set — Progress narration for uninstrumented runs.
+func (s *Suite) execute(ctx context.Context, key RunKey, cfg sim.Config, dp *decode.Program, want uint64, instrument func(*sim.Machine), narrate bool) (res *sim.Result, err error) {
 	m := s.pool.Get(cfg, dp)
 	defer func() {
 		if r := recover(); r != nil {
@@ -401,8 +436,8 @@ func (s *Suite) simulate(ctx context.Context, key RunKey, instrument func(*sim.M
 	if res.TimedOut {
 		return nil, fmt.Errorf("%s: watchdog expired", key)
 	}
-	if got := m.Mem.Load(workloads.ResultAddr); got != ps.want {
-		return nil, fmt.Errorf("%s: checksum %d, want %d", key, got, ps.want)
+	if got := m.Mem.Load(workloads.ResultAddr); got != want {
+		return nil, fmt.Errorf("%s: checksum %d, want %d", key, got, want)
 	}
 	// Clean completion: the Result is detached from the machine, so the
 	// machine can go back to the pool before the result is validated or
@@ -419,10 +454,131 @@ func (s *Suite) simulate(ctx context.Context, key RunKey, instrument func(*sim.M
 	if err := check.Conservation(res); err != nil {
 		return nil, fmt.Errorf("%s: %w", key, err)
 	}
-	if s.Progress != nil {
+	if narrate && s.Progress != nil {
 		s.Progress(key, res, time.Since(start))
 	}
 	return res, nil
+}
+
+// optVariant returns a short display tag for an options-parameterized cell:
+// "ssp@" plus the first 8 hex digits of the canonical option key's SHA-256.
+// It appears in RunKey-shaped progress lines and error messages; cache maps
+// always use the full Options.Key().
+func optVariant(opt ssp.Options) Variant {
+	sum := sha256.Sum256([]byte(opt.Key()))
+	return Variant("ssp@" + hex.EncodeToString(sum[:4]))
+}
+
+// ProgramOptions adapts a benchmark with an arbitrary option set, memoized
+// on the canonical option key. It is the options-parameterized analogue of
+// program(bench, VarSSP): the tuner's search points go through here so
+// repeated probes of the same configuration coalesce.
+func (s *Suite) ProgramOptions(ctx context.Context, bench string, opt ssp.Options) (*ir.Program, *ssp.Report, error) {
+	ps, err := s.prog(ctx, bench)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := opt.Key()
+	ps.mu.Lock()
+	c, ok := ps.optVariants[key]
+	if !ok {
+		c = new(flight.Cell[variantProg])
+		ps.optVariants[key] = c
+	}
+	ps.mu.Unlock()
+	vp, err := c.Do(ctx, func(ctx context.Context) (variantProg, error) {
+		p, rep, err := ssp.Adapt(ps.orig, ps.prof, opt, bench)
+		if err != nil {
+			return variantProg{}, fmt.Errorf("%s/%s: adapt: %w", bench, optVariant(opt), err)
+		}
+		return variantProg{prog: p, rep: rep}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return vp.prog, vp.rep, nil
+}
+
+// predecodedOptions links and predecodes an options-adapted binary once per
+// (bench, canonical option key); both machine models share the image.
+func (s *Suite) predecodedOptions(ctx context.Context, bench string, opt ssp.Options) (*decode.Program, error) {
+	key := optDecodeKey{bench, opt.Key()}
+	s.mu.Lock()
+	c, ok := s.optDecs[key]
+	if !ok {
+		c = new(flight.Cell[*decode.Program])
+		s.optDecs[key] = c
+	}
+	s.mu.Unlock()
+	return c.Do(ctx, func(ctx context.Context) (*decode.Program, error) {
+		p, _, err := s.ProgramOptions(ctx, bench, opt)
+		if err != nil {
+			return nil, err
+		}
+		img, err := ir.Link(p)
+		if err != nil {
+			return nil, err
+		}
+		return sim.Predecode(img), nil
+	})
+}
+
+// RunOptions simulates a benchmark adapted with an arbitrary option set,
+// with the same caching, coalescing, and validation as RunContext. The cell
+// key embeds Options.Key(), so configurations differing in any single knob
+// get distinct cells.
+func (s *Suite) RunOptions(ctx context.Context, bench string, model sim.Model, opt ssp.Options) (*sim.Result, error) {
+	key := optRunKey{bench, model, opt.Key()}
+	s.mu.Lock()
+	c, ok := s.optRuns[key]
+	if !ok {
+		c = new(flight.Cell[*sim.Result])
+		s.optRuns[key] = c
+	}
+	s.mu.Unlock()
+	return c.Do(ctx, func(ctx context.Context) (*sim.Result, error) {
+		ps, err := s.prog(ctx, bench)
+		if err != nil {
+			return nil, err
+		}
+		dp, err := s.predecodedOptions(ctx, bench, opt)
+		if err != nil {
+			return nil, err
+		}
+		rk := RunKey{bench, model, optVariant(opt)}
+		return s.execute(ctx, rk, s.machineConfig(model), dp, ps.want, nil, true)
+	})
+}
+
+// Workload exposes a benchmark's built program, its expected final-answer
+// checksum, and the offline profile (building and profiling on first use).
+// The returned structures are shared with the suite's caches — callers must
+// treat them as read-only. The closed-loop tuner re-adapts from these.
+func (s *Suite) Workload(ctx context.Context, bench string) (*ir.Program, uint64, *profile.Profile, error) {
+	ps, err := s.prog(ctx, bench)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return ps.orig, ps.want, ps.prof, nil
+}
+
+// MachineConfig exposes the simulator configuration the suite's cells run
+// with at its scale, so out-of-suite simulations (the tuner's re-profiling
+// rounds) are comparable with cached cells.
+func (s *Suite) MachineConfig(model sim.Model) sim.Config { return s.machineConfig(model) }
+
+// Simulate runs an arbitrary program under the suite's machine-lifecycle and
+// validation discipline (pooled machine, watchdog, answer checksum against
+// want, conservation) without entering any cache: the program is the
+// caller's own, so the suite has no key for it. Progress does not fire. The
+// closed-loop tuner runs its re-adapted round images through here.
+func (s *Suite) Simulate(ctx context.Context, label string, model sim.Model, p *ir.Program, want uint64) (*sim.Result, error) {
+	img, err := ir.Link(p)
+	if err != nil {
+		return nil, fmt.Errorf("%s: link: %w", label, err)
+	}
+	rk := RunKey{label, model, "external"}
+	return s.execute(ctx, rk, s.machineConfig(model), sim.Predecode(img), want, nil, false)
 }
 
 // Speedup returns cycles(reference)/cycles(treatment).

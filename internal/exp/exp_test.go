@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"ssp/internal/check"
 	"ssp/internal/sim"
+	"ssp/internal/ssp"
 )
 
 // suite is shared by all tests in this package: the cached runs make the
@@ -349,3 +351,60 @@ func TestRunInstrumentedDoesNotPoisonCache(t *testing.T) {
 type execFunc func(*sim.Machine, *sim.Thread, int)
 
 func (f execFunc) Exec(m *sim.Machine, t *sim.Thread, pc int) { f(m, t, pc) }
+
+// TestOptionsCellsNeverSharedAcrossConfigs is the poisoning regression for
+// the options-keyed memoization: two configurations that differ only in
+// ChainUnroll must get distinct cells (distinct adapted binaries, distinct
+// results), while re-asking with an identical configuration must hit the
+// first configuration's cache, not the second's.
+func TestOptionsCellsNeverSharedAcrossConfigs(t *testing.T) {
+	s := NewSuite(ScaleTest)
+	ctx := context.Background()
+	a := ssp.DefaultOptions()
+	b := a
+	b.ChainUnroll = 2
+
+	if a.Key() == b.Key() {
+		t.Fatal("option keys collide across ChainUnroll values")
+	}
+	progA, repA, err := s.ProgramOptions(ctx, "mcf", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progB, repB, err := s.ProgramOptions(ctx, "mcf", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progA == progB || repA == repB {
+		t.Fatal("ChainUnroll-differing configs shared an adaptation cell")
+	}
+	resA, err := s.RunOptions(ctx, "mcf", sim.InOrder, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := s.RunOptions(ctx, "mcf", sim.InOrder, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA == resB {
+		t.Fatal("ChainUnroll-differing configs shared a run cell")
+	}
+	// Same config again: must be the cached pointer from the FIRST config,
+	// proving the second probe didn't overwrite it.
+	resA2, err := s.RunOptions(ctx, "mcf", sim.InOrder, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA2 != resA {
+		t.Fatal("identical config missed its own cache after a different config ran")
+	}
+	// And the options-keyed ssp cell agrees with the enum-variant ssp cell,
+	// which runs the same default adaptation through the legacy key space.
+	legacy, err := s.Run("mcf", sim.InOrder, VarSSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Cycles != resA.Cycles {
+		t.Fatalf("options-keyed default run (%d cycles) disagrees with VarSSP cell (%d cycles)", resA.Cycles, legacy.Cycles)
+	}
+}

@@ -104,6 +104,11 @@ func CollectContext(ctx context.Context, p *ir.Program, cfg sim.Config) (*Profil
 // simulator to identify the top delinquent loads that contribute to at least
 // 90% of the cache misses" (§2.2). "For many programs, only a small number
 // of static loads are responsible for the vast majority of cache misses."
+//
+// A cutoff of 1.0 (or more) selects every missing load; max <= 0 means no
+// cap. The "at least" comparison is done in floating point against
+// cutoff*total — truncating the target to an integer could stop one load
+// early on rounding boundaries and silently under-cover.
 func (pr *Profile) DelinquentLoads(cutoff float64, max int) []int {
 	type cand struct {
 		id int
@@ -121,15 +126,50 @@ func (pr *Profile) DelinquentLoads(cutoff float64, max int) []int {
 		}
 		return cands[i].id < cands[j].id
 	})
+	if max <= 0 {
+		max = len(cands)
+	}
+	target := cutoff * float64(pr.TotalMissCycles)
 	var out []int
 	var cum uint64
-	target := uint64(cutoff * float64(pr.TotalMissCycles))
 	for _, c := range cands {
-		if len(out) >= max || (cum >= target && len(out) > 0) {
+		if len(out) >= max || (len(out) > 0 && float64(cum) >= target) {
 			break
 		}
 		out = append(out, c.id)
 		cum += c.mc
+	}
+	return out
+}
+
+// Rebase returns a profile whose load statistics come from an actual run's
+// dense per-load stats (res.Hier) restricted to the loads of program p: the
+// feedback harvest of the closed-loop tuner. Execution frequencies, block
+// counts, and call edges are carried over unchanged — adaptation preserves
+// the main thread's control flow (the metamorphic invariant), and slice
+// instructions carry fresh IDs, so the original program's load IDs in an
+// adapted run's stats are exactly the main thread's residual cache
+// behaviour: what the adapted image left unprefetched.
+//
+// The carried-over maps are shared with the receiver; treat both profiles
+// as read-only afterwards.
+func (pr *Profile) Rebase(res *sim.Result, p *ir.Program) *Profile {
+	out := &Profile{
+		InstrFreq: pr.InstrFreq,
+		BlockFreq: pr.BlockFreq,
+		CallEdges: pr.CallEdges,
+		Loads:     make(map[int]*mem.LoadStat),
+		Cycles:    res.Cycles,
+		MemCfg:    pr.MemCfg,
+	}
+	for id, stat := range res.Hier.ByLoad() {
+		_, _, in := p.InstrByID(id)
+		if in == nil || in.Op != ir.OpLd {
+			continue
+		}
+		s := *stat
+		out.Loads[id] = &s
+		out.TotalMissCycles += s.MissCycles
 	}
 	return out
 }

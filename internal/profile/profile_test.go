@@ -2,10 +2,12 @@ package profile
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"ssp/internal/ir"
 	"ssp/internal/sim"
+	"ssp/internal/sim/mem"
 )
 
 func tinyConfig() sim.Config {
@@ -93,9 +95,104 @@ func TestDelinquentLoadsOrderingAndCutoff(t *testing.T) {
 	if len(dels) != 1 {
 		t.Fatalf("dels = %v, want the single strided load", dels)
 	}
-	// The max cap is honored.
-	if got := pr.DelinquentLoads(0.9, 0); len(got) != 0 {
-		t.Errorf("max=0 returned %v", got)
+	// max <= 0 means no cap, not "select nothing".
+	if got := pr.DelinquentLoads(0.9, 0); len(got) != 1 {
+		t.Errorf("max=0 returned %v, want the single strided load", got)
+	}
+}
+
+func synthProfile(miss map[int]uint64) *Profile {
+	pr := &Profile{Loads: make(map[int]*mem.LoadStat)}
+	for id, mc := range miss {
+		pr.Loads[id] = &mem.LoadStat{Accesses: 1, MissCycles: mc}
+		pr.TotalMissCycles += mc
+	}
+	return pr
+}
+
+func TestDelinquentLoadsBoundaries(t *testing.T) {
+	cases := []struct {
+		name   string
+		miss   map[int]uint64
+		cutoff float64
+		max    int
+		want   []int
+	}{
+		// Truncation boundary: total 95, cutoff 0.9 → true target 85.5.
+		// The old integer-truncated target (85) stopped after the first
+		// load at 85/95 ≈ 89.5% — below the "at least 90%" contract.
+		{"rounding-boundary", map[int]uint64{1: 85, 2: 10}, 0.9, 10, []int{1, 2}},
+		// Exact hit: 90/100 is at least 90%; stop there.
+		{"exact", map[int]uint64{1: 90, 2: 10}, 0.9, 10, []int{1}},
+		// cutoff >= 1.0 selects every missing load.
+		{"cutoff-one", map[int]uint64{1: 70, 2: 20, 3: 10}, 1.0, 10, []int{1, 2, 3}},
+		{"cutoff-above-one", map[int]uint64{1: 70, 2: 20, 3: 10}, 1.5, 10, []int{1, 2, 3}},
+		// cutoff <= 0 still returns the top load (never an empty set
+		// while misses exist).
+		{"cutoff-zero", map[int]uint64{1: 70, 2: 30}, 0, 10, []int{1}},
+		// max <= 0 means uncapped.
+		{"max-zero-uncapped", map[int]uint64{1: 50, 2: 30, 3: 20}, 1.0, 0, []int{1, 2, 3}},
+		{"max-negative-uncapped", map[int]uint64{1: 50, 2: 30, 3: 20}, 1.0, -1, []int{1, 2, 3}},
+		// A positive max still caps.
+		{"max-caps", map[int]uint64{1: 50, 2: 30, 3: 20}, 1.0, 2, []int{1, 2}},
+		// Ranking: miss cycles descending, ID ascending on ties.
+		{"tie-by-id", map[int]uint64{9: 40, 3: 40, 5: 20}, 1.0, 10, []int{3, 9, 5}},
+		// Zero-miss loads never qualify; empty profile yields nil.
+		{"skips-zero-miss", map[int]uint64{1: 10, 2: 0}, 1.0, 10, []int{1}},
+		{"empty", map[int]uint64{}, 0.9, 10, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := idsString(synthProfile(tc.miss).DelinquentLoads(tc.cutoff, tc.max))
+			want := idsString(tc.want)
+			if got != want {
+				t.Errorf("DelinquentLoads(%v, %d) = %s, want %s", tc.cutoff, tc.max, got, want)
+			}
+		})
+	}
+}
+
+func idsString(ids []int) string { return fmt.Sprint(ids) }
+
+func TestRebaseRestrictsToProgramLoads(t *testing.T) {
+	p := loopProgram(4, 500)
+	cfg := tinyConfig()
+	pr, err := Collect(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := ir.Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.New(cfg, img).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := pr.Rebase(res, p)
+	if len(rb.Loads) == 0 || rb.TotalMissCycles == 0 {
+		t.Fatalf("rebased profile empty: %d loads, %d miss cycles", len(rb.Loads), rb.TotalMissCycles)
+	}
+	var sum uint64
+	for id, s := range rb.Loads {
+		if _, _, in := p.InstrByID(id); in == nil || in.Op != ir.OpLd {
+			t.Errorf("rebased profile holds non-load ID %d", id)
+		}
+		sum += s.MissCycles
+	}
+	if sum != rb.TotalMissCycles {
+		t.Errorf("TotalMissCycles %d != sum %d", rb.TotalMissCycles, sum)
+	}
+	// Same program, same config: the harvest must agree with Collect's own
+	// cache profile, and the carried-over frequency maps are shared.
+	if rb.TotalMissCycles != pr.TotalMissCycles {
+		t.Errorf("rebased total %d != collected total %d", rb.TotalMissCycles, pr.TotalMissCycles)
+	}
+	if len(rb.InstrFreq) != len(pr.InstrFreq) || len(rb.BlockFreq) != len(pr.BlockFreq) {
+		t.Error("frequency maps not carried over")
+	}
+	if rb.Cycles != res.Cycles {
+		t.Errorf("rebased Cycles %d != run cycles %d", rb.Cycles, res.Cycles)
 	}
 }
 

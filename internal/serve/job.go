@@ -11,6 +11,7 @@ import (
 	"ssp/internal/ir"
 	"ssp/internal/sim"
 	"ssp/internal/ssp"
+	"ssp/internal/tune"
 	"ssp/internal/workloads"
 )
 
@@ -43,6 +44,28 @@ type JobSpec struct {
 	// Deliberately excluded from the cache key: a result is the same
 	// result no matter how long the client was willing to wait for it.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Tune switches the job into closed-loop tuning mode: instead of one
+	// adapt+simulate, the server runs the internal/tune search (adaptive
+	// re-profiling over an options grid) and returns the tune.Result. Tune
+	// jobs require Bench (the tuner runs on the experiment suite), take no
+	// Variant or Options (the grid supplies the options), and cannot
+	// stream. The mode is opt-in per server (Config.EnableTune): a tune
+	// search costs many simulations, not one.
+	Tune *TuneSpec `json:"tune,omitempty"`
+}
+
+// TuneSpec parameterizes a tune-mode job. Zero values take the tuner's
+// defaults, which are applied during normalization so that an empty spec and
+// an explicitly-default spec share one cache key.
+type TuneSpec struct {
+	// Rounds is the max number of re-profiling rounds per candidate after
+	// the one-shot round 0 (tune.Params.MaxRounds). 0 means 3.
+	Rounds int `json:"rounds,omitempty"`
+	// Epsilon is the relative speedup-delta convergence threshold
+	// (tune.Params.Epsilon). 0 means 0.02.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Grid selects the search grid: "full" (default) or "quick".
+	Grid string `json:"grid,omitempty"`
 }
 
 // job is a validated, canonicalized JobSpec: defaults applied, model names
@@ -55,8 +78,17 @@ type job struct {
 	Variant string
 	Test    bool // test scale (vs paper scale)
 	Options ssp.Options
+	Tune    *tuneJob // non-nil switches the job into tuning mode
 
 	timeout time.Duration
+}
+
+// tuneJob is a TuneSpec with defaults applied — the canonical form that
+// feeds the cache key.
+type tuneJob struct {
+	Rounds  int
+	Epsilon float64
+	Grid    string
 }
 
 const (
@@ -119,6 +151,37 @@ func (s *JobSpec) normalize(defaultTimeout time.Duration) (job, error) {
 			return j, fmt.Errorf("options: %w", err)
 		}
 	}
+	if s.Tune != nil {
+		switch {
+		case j.Bench == "":
+			return j, fmt.Errorf("tune jobs require a built-in benchmark (bench), not source")
+		case s.Variant != "":
+			return j, fmt.Errorf("tune jobs take no variant (the search covers the ssp treatment)")
+		case len(s.Options) > 0 && string(s.Options) != "null":
+			return j, fmt.Errorf("tune jobs take no options (the grid supplies them)")
+		}
+		t := tuneJob{Rounds: s.Tune.Rounds, Epsilon: s.Tune.Epsilon, Grid: s.Tune.Grid}
+		if t.Rounds < 0 {
+			return j, fmt.Errorf("negative tune rounds")
+		}
+		if t.Rounds == 0 {
+			t.Rounds = 3
+		}
+		if t.Epsilon < 0 {
+			return j, fmt.Errorf("negative tune epsilon")
+		}
+		if t.Epsilon == 0 {
+			t.Epsilon = 0.02
+		}
+		switch t.Grid {
+		case "":
+			t.Grid = "full"
+		case "full", "quick":
+		default:
+			return j, fmt.Errorf("unknown tune grid %q (want full or quick)", t.Grid)
+		}
+		j.Tune = &t
+	}
 	if s.TimeoutMS < 0 {
 		return j, fmt.Errorf("negative timeout_ms")
 	}
@@ -141,7 +204,10 @@ func (j job) key() string {
 		Variant string
 		Test    bool
 		Options ssp.Options
-	}{j.Bench, j.Source, j.Model.String(), j.Variant, j.Test, j.Options}
+		// Tune is omitted when nil so every pre-existing (non-tune) job
+		// keeps the key it had before tuning mode existed.
+		Tune *tuneJob `json:",omitempty"`
+	}{j.Bench, j.Source, j.Model.String(), j.Variant, j.Test, j.Options, j.Tune}
 	data, err := json.Marshal(canon)
 	if err != nil {
 		// Every field is a plain value; Marshal cannot fail.
@@ -213,8 +279,13 @@ func toJobResult(res *sim.Result, slices int) *JobResult {
 // per-request metadata (the content key, whether this request was served
 // from cache, and how long it waited).
 type JobResponse struct {
-	Key    string     `json:"key"`
-	Cached bool       `json:"cached"`
-	WallMS float64    `json:"wall_ms"`
-	Result *JobResult `json:"result"`
+	Key    string  `json:"key"`
+	Cached bool    `json:"cached"`
+	WallMS float64 `json:"wall_ms"`
+	// Result is the stat vector of a plain adapt+simulate job; nil for
+	// tune jobs.
+	Result *JobResult `json:"result,omitempty"`
+	// Tune is the search outcome of a tune-mode job: best configuration,
+	// per-round trajectories, recovered headroom. Nil for plain jobs.
+	Tune *tune.Result `json:"tune,omitempty"`
 }

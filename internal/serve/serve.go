@@ -30,12 +30,14 @@ import (
 	"time"
 
 	"ssp/internal/check"
+	"ssp/internal/exp"
 	"ssp/internal/flight"
 	"ssp/internal/ir"
 	"ssp/internal/profile"
 	"ssp/internal/sim"
 	"ssp/internal/sim/decode"
 	"ssp/internal/ssp"
+	"ssp/internal/tune"
 	"ssp/internal/workloads"
 )
 
@@ -60,6 +62,10 @@ type Config struct {
 	// MaxBodyBytes caps the request body (source programs can be large
 	// but not unbounded). 0 means 4 MiB.
 	MaxBodyBytes int64
+	// EnableTune admits tune-mode jobs (JobSpec.Tune): closed-loop
+	// searches that cost many simulations each. Off by default; without
+	// it tune jobs are rejected with 403.
+	EnableTune bool
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +133,14 @@ type Server struct {
 	progs  map[progKey]*flight.Cell[*progSet]
 	builds map[buildKey]*flight.Cell[*build]
 	runs   map[string]*runCell
+	// tunes memoizes tune-mode jobs by the same content key scheme; the
+	// key covers the tune parameters, so searches with different rounds,
+	// epsilon, or grid never share a cell.
+	tunes map[string]*flight.Cell[*tune.Result]
+	// tuners holds one lazily-built closed-loop tuner per scale (keyed by
+	// "is test scale"). Each owns its own exp.Suite, whose caches the
+	// tuner's repeated adapt+simulate rounds coalesce through.
+	tuners map[bool]*tune.Tuner
 
 	pool sim.Pool
 
@@ -145,6 +159,8 @@ func New(cfg Config) *Server {
 		progs:  make(map[progKey]*flight.Cell[*progSet]),
 		builds: make(map[buildKey]*flight.Cell[*build]),
 		runs:   make(map[string]*runCell),
+		tunes:  make(map[string]*flight.Cell[*tune.Result]),
+		tuners: make(map[bool]*tune.Tuner),
 	}
 	s.sem = make(chan struct{}, s.cfg.Workers)
 	s.mux = http.NewServeMux()
@@ -201,7 +217,7 @@ type Stats struct {
 // callers like the load harness).
 func (s *Server) Snapshot() Stats {
 	s.mu.Lock()
-	cells := len(s.runs)
+	cells := len(s.runs) + len(s.tunes)
 	s.mu.Unlock()
 	return Stats{
 		UptimeSec: time.Since(s.start).Seconds(),
@@ -247,6 +263,18 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad job: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	if j.Tune != nil {
+		if !s.cfg.EnableTune {
+			s.rejected.Add(1)
+			http.Error(w, "tune jobs are disabled on this server (start sspserved with -tune)",
+				http.StatusForbidden)
+			return
+		}
+		if wantsSSE(r) {
+			http.Error(w, "bad job: tune jobs do not support streaming", http.StatusBadRequest)
+			return
+		}
+	}
 
 	// Admission: bound the total number of jobs in the building, counting
 	// both running and queued. Everything past that is load the server
@@ -262,6 +290,22 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), j.timeout)
 	defer cancel()
+
+	if j.Tune != nil {
+		start := time.Now()
+		res, hit, err := s.runTune(ctx, j)
+		if err != nil {
+			http.Error(w, err.Error(), statusOf(err))
+			return
+		}
+		writeJSON(w, JobResponse{
+			Key:    j.key(),
+			Cached: hit,
+			WallMS: float64(time.Since(start)) / float64(time.Millisecond),
+			Tune:   res,
+		})
+		return
+	}
 
 	rc := s.cellFor(j.key())
 	if wantsSSE(r) {
@@ -280,6 +324,65 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		WallMS: float64(time.Since(start)) / float64(time.Millisecond),
 		Result: res,
 	})
+}
+
+// runTune resolves a tune-mode job through its memoization cell. The job
+// holds one worker slot for admission accounting; the search's own
+// simulations run on the tuner's experiment suite, whose worker pool is
+// sized like the server's.
+func (s *Server) runTune(ctx context.Context, j job) (res *tune.Result, hit bool, err error) {
+	s.mu.Lock()
+	c, ok := s.tunes[j.key()]
+	if !ok {
+		c = new(flight.Cell[*tune.Result])
+		s.tunes[j.key()] = c
+	}
+	s.mu.Unlock()
+	ran := false
+	res, err = c.Do(ctx, func(ctx context.Context) (*tune.Result, error) {
+		ran = true
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		grid := tune.FullGrid()
+		if j.Tune.Grid == "quick" {
+			grid = tune.QuickGrid()
+		}
+		params := tune.Params{MaxRounds: j.Tune.Rounds, Epsilon: j.Tune.Epsilon}
+		return s.tunerFor(j.Test).Tune(ctx, j.Bench, j.Model, params, grid)
+	})
+	if ran {
+		s.misses.Add(1)
+	} else {
+		s.hits.Add(1)
+	}
+	if err != nil {
+		s.failures.Add(1)
+		return nil, false, err
+	}
+	return res, !ran, nil
+}
+
+// tunerFor returns the closed-loop tuner for one scale, building it (and its
+// experiment suite) on first use.
+func (s *Server) tunerFor(test bool) *tune.Tuner {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tn, ok := s.tuners[test]
+	if !ok {
+		scale := exp.ScalePaper
+		if test {
+			scale = exp.ScaleTest
+		}
+		suite := exp.NewSuite(scale)
+		suite.Workers = s.cfg.Workers
+		tn = tune.New(suite)
+		s.tuners[test] = tn
+	}
+	return tn
 }
 
 // runJob resolves one admitted job through its memoization cell, reporting

@@ -441,3 +441,124 @@ func TestStatz(t *testing.T) {
 		t.Errorf("pool puts = %d, want 1 (one clean simulation)", st.Pool.Puts)
 	}
 }
+
+// TestTuneJob: a tune-mode job runs the closed-loop search and returns the
+// tune result; an identical repeat is a cache hit on the tune cell.
+func TestTuneJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{EnableTune: true})
+	spec := JobSpec{
+		Bench: "mcf", Model: "in-order",
+		Tune: &TuneSpec{Rounds: 2, Grid: "quick"},
+	}
+	code, jr, msg := post(t, ts, spec)
+	if code != http.StatusOK {
+		t.Fatalf("tune job: HTTP %d: %s", code, msg)
+	}
+	if jr.Result != nil {
+		t.Errorf("tune response carries a plain result: %+v", jr.Result)
+	}
+	res := jr.Tune
+	if res == nil || res.Best == nil {
+		t.Fatalf("tune response missing the search result: %+v", jr)
+	}
+	if res.Bench != "mcf" || res.BaseCycles <= 0 || res.OneShot <= 0 {
+		t.Fatalf("tune result shape: %+v", res)
+	}
+	if res.Best.Best < res.OneShot {
+		t.Errorf("tuned %.3fx below one-shot %.3fx", res.Best.Best, res.OneShot)
+	}
+
+	code, jr2, msg := post(t, ts, spec)
+	if code != http.StatusOK {
+		t.Fatalf("repeat tune job: HTTP %d: %s", code, msg)
+	}
+	if !jr2.Cached {
+		t.Error("identical tune job missed the cache")
+	}
+	if jr2.Key != jr.Key {
+		t.Errorf("identical tune jobs keyed differently: %s vs %s", jr.Key, jr2.Key)
+	}
+}
+
+// TestTuneDisabled: tune jobs are opt-in; a server without EnableTune
+// refuses them outright instead of silently running an expensive search.
+func TestTuneDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	code, _, msg := post(t, ts, JobSpec{Bench: "mcf", Model: "in-order", Tune: &TuneSpec{}})
+	if code != http.StatusForbidden {
+		t.Fatalf("tune on a tune-disabled server: HTTP %d (%s), want 403", code, msg)
+	}
+	if st := s.Snapshot(); st.Rejected != 1 {
+		t.Errorf("rejection not counted: %+v", st)
+	}
+}
+
+// TestTuneBadRequests: malformed tune jobs are client errors.
+func TestTuneBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{EnableTune: true})
+	cases := []JobSpec{
+		{Source: "L: halt", Model: "in-order", Tune: &TuneSpec{}},            // tune needs a bench
+		{Bench: "mcf", Model: "in-order", Variant: "ssp", Tune: &TuneSpec{}}, // no variant with tune
+		{Bench: "mcf", Model: "in-order", Tune: &TuneSpec{Grid: "dense"}},    // unknown grid
+		{Bench: "mcf", Model: "in-order", Tune: &TuneSpec{Rounds: -1}},       // negative rounds
+		{Bench: "mcf", Model: "in-order", Tune: &TuneSpec{Epsilon: -0.5}},    // negative epsilon
+	}
+	for i, spec := range cases {
+		if code, _, msg := post(t, ts, spec); code != http.StatusBadRequest {
+			t.Errorf("case %d: HTTP %d (%s), want 400", i, code, msg)
+		}
+	}
+
+	// Streaming a tune job is rejected: there is no single cycle counter to
+	// stream over a whole search.
+	body, _ := json.Marshal(JobSpec{Bench: "mcf", Model: "in-order", Tune: &TuneSpec{}})
+	req, err := http.NewRequest("POST", ts.URL+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("SSE tune job: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestTuneKeying: the cache key separates tune jobs from plain jobs and from
+// each other by search parameters, while an empty TuneSpec and an explicitly
+// default one coalesce onto the same cell.
+func TestTuneKeying(t *testing.T) {
+	norm := func(spec JobSpec) job {
+		t.Helper()
+		j, err := spec.normalize(time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	plain := norm(JobSpec{Bench: "mcf", Model: "in-order"})
+	tuned := norm(JobSpec{Bench: "mcf", Model: "in-order", Tune: &TuneSpec{}})
+	if plain.key() == tuned.key() {
+		t.Error("tune job shares a key with the plain job")
+	}
+	explicit := norm(JobSpec{Bench: "mcf", Model: "in-order",
+		Tune: &TuneSpec{Rounds: 3, Epsilon: 0.02, Grid: "full"}})
+	if tuned.key() != explicit.key() {
+		t.Error("defaulted and explicitly-default tune specs keyed differently")
+	}
+	for i, other := range []JobSpec{
+		{Bench: "mcf", Model: "in-order", Tune: &TuneSpec{Rounds: 2}},
+		{Bench: "mcf", Model: "in-order", Tune: &TuneSpec{Epsilon: 0.1}},
+		{Bench: "mcf", Model: "in-order", Tune: &TuneSpec{Grid: "quick"}},
+		{Bench: "mcf", Model: "ooo", Tune: &TuneSpec{}},
+		{Bench: "health", Model: "in-order", Tune: &TuneSpec{}},
+		{Bench: "mcf", Model: "in-order", Scale: "paper", Tune: &TuneSpec{}},
+	} {
+		if norm(other).key() == tuned.key() {
+			t.Errorf("case %d: parameter change did not change the tune key", i)
+		}
+	}
+}

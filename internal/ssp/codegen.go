@@ -11,12 +11,13 @@ import (
 // that copies live-ins into the live-in buffer and spawns, and the slice
 // block(s) holding the precomputation, appended after the function in which
 // the trigger resides. It also appends the slice's Table 2 row to the
-// report.
-func (t *Tool) emit(sl *Slice, sch *Schedule) error {
+// report. It returns false (with no error) when no legal trigger placement
+// exists, so the caller can account for the slice's targets as skipped.
+func (t *Tool) emit(sl *Slice, sch *Schedule) (bool, error) {
 	f := sl.Region.F
 	tp, ok := t.placeTrigger(sl)
 	if !ok {
-		return nil // no legal trigger: skip this slice
+		return false, nil // no legal trigger: skip this slice
 	}
 	k := t.nextSlice
 	t.nextSlice++
@@ -153,7 +154,7 @@ func (t *Tool) emit(sl *Slice, sch *Schedule) error {
 		AvailableILP:    sch.AvailableILP,
 		TripCount:       sch.TripsPerEntry,
 	})
-	return nil
+	return true, nil
 }
 
 // emitSpawnGuard emits the continue-condition computation and returns the

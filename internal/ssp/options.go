@@ -8,6 +8,8 @@
 // function (§3.4, Figure 7).
 package ssp
 
+import "encoding/json"
+
 // Options tunes the post-pass tool. Zero value is not useful; start from
 // DefaultOptions.
 type Options struct {
@@ -104,6 +106,19 @@ func DefaultOptions() Options {
 	}
 }
 
+// Key returns the canonical cache key of an option set: the JSON encoding
+// of every exported field in declaration order. Memoization layers (the
+// experiment suite's options-keyed cells, the tuner's candidate cache) key
+// on it so two option sets share a cell exactly when every knob matches.
+func (o Options) Key() string {
+	data, err := json.Marshal(o)
+	if err != nil {
+		// Every field is a plain scalar; Marshal cannot fail.
+		panic(err)
+	}
+	return string(data)
+}
+
 // Report summarizes an adaptation in the shape of Table 2, plus diagnostics.
 type Report struct {
 	// Benchmark is a caller-provided label.
@@ -112,6 +127,31 @@ type Report struct {
 	DelinquentLoads []int
 	// Slices describes every generated p-slice.
 	Slices []SliceInfo
+	// Skipped lists targeted loads the tool could not cover, with the
+	// pipeline stage that dropped them. Together with Slices it accounts
+	// for every targeted load: each ID in DelinquentLoads appears either
+	// in some slice's Targets or here, never silently vanishing.
+	Skipped []SkippedLoad
+}
+
+// SkippedLoad records one delinquent load the tool targeted but dropped.
+type SkippedLoad struct {
+	// ID is the static load ID from DelinquentLoads.
+	ID int
+	// Reason names the stage that rejected the load.
+	Reason string
+}
+
+// Covered reports whether load id made it into some emitted slice.
+func (r *Report) Covered(id int) bool {
+	for _, s := range r.Slices {
+		for _, t := range s.Targets {
+			if t == id {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // SliceInfo is one row's worth of Table 2 data for a single p-slice.

@@ -1,0 +1,146 @@
+package ssp
+
+import (
+	"reflect"
+	"testing"
+
+	"ssp/internal/ir"
+	"ssp/internal/workloads"
+)
+
+// TestReportAccountsForEveryTargetedLoad pins the covered/skipped totality
+// invariant across every benchmark: a targeted delinquent load appears
+// either in some slice's Targets or in Skipped — never both, never neither.
+// Before the fix, loads dropped by InstrByID/selectRegion/buildSlice/
+// schedule/placeTrigger vanished from the report entirely.
+func TestReportAccountsForEveryTargetedLoad(t *testing.T) {
+	for _, spec := range workloads.All() {
+		t.Run(spec.Name, func(t *testing.T) {
+			_, _, rep, _ := adaptWorkload(t, spec.Name, DefaultOptions())
+			skipped := map[int]bool{}
+			for _, s := range rep.Skipped {
+				if s.Reason == "" {
+					t.Errorf("skipped load %d has empty reason", s.ID)
+				}
+				if skipped[s.ID] {
+					t.Errorf("load %d skipped twice", s.ID)
+				}
+				skipped[s.ID] = true
+			}
+			for _, id := range rep.DelinquentLoads {
+				cov := rep.Covered(id)
+				switch {
+				case cov && skipped[id]:
+					t.Errorf("load %d both covered and skipped", id)
+				case !cov && !skipped[id]:
+					t.Errorf("load %d vanished: neither covered nor skipped", id)
+				}
+			}
+		})
+	}
+}
+
+// TestSkippedRecordsUnresolvableTargets: targets that resolve to nothing or
+// to a non-load must land in Skipped with a stage-specific reason.
+func TestSkippedRecordsUnresolvableTargets(t *testing.T) {
+	spec, err := workloads.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := spec.Build(spec.TestScale)
+	prof := collectProfile(t, orig)
+
+	// A non-load instruction ID from the entry block.
+	var nonLoad int
+	orig.Funcs[0].Instrs(func(_ *ir.Block, _ int, in *ir.Instr) {
+		if nonLoad == 0 && in.Op != ir.OpLd {
+			nonLoad = in.ID
+		}
+	})
+	if nonLoad == 0 {
+		t.Fatal("no non-load instruction found")
+	}
+
+	_, rep, err := AdaptTargets(orig, prof, DefaultOptions(), "mcf", []int{1 << 30, nonLoad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]string{
+		1 << 30: "no instruction with this ID",
+		nonLoad: "target is not a load",
+	}
+	if len(rep.Skipped) != len(want) {
+		t.Fatalf("Skipped = %+v, want %d entries", rep.Skipped, len(want))
+	}
+	for _, s := range rep.Skipped {
+		if want[s.ID] != s.Reason {
+			t.Errorf("skip %d reason = %q, want %q", s.ID, s.Reason, want[s.ID])
+		}
+	}
+}
+
+// TestSkippedWhenEveryRegionRejected: with MaxSliceSize 0 no region can hold
+// a slice, so every targeted load must be reported skipped, not dropped.
+func TestSkippedWhenEveryRegionRejected(t *testing.T) {
+	opt := DefaultOptions()
+	opt.MaxSliceSize = 0
+	_, _, rep, _ := adaptWorkload(t, "mcf", opt)
+	if rep.NumSlices() != 0 {
+		t.Fatalf("expected no slices with MaxSliceSize=0, got %d", rep.NumSlices())
+	}
+	if len(rep.DelinquentLoads) == 0 {
+		t.Fatal("no delinquent loads targeted")
+	}
+	if len(rep.Skipped) != len(rep.DelinquentLoads) {
+		t.Fatalf("Skipped has %d entries, want all %d targets: %+v",
+			len(rep.Skipped), len(rep.DelinquentLoads), rep.Skipped)
+	}
+}
+
+// TestAdaptTargetsNilMatchesAdapt: a nil target set reproduces Adapt.
+func TestAdaptTargetsNilMatchesAdapt(t *testing.T) {
+	spec, err := workloads.ByName("health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := spec.Build(spec.TestScale)
+	prof := collectProfile(t, orig)
+	_, repA, err := Adapt(orig, prof, DefaultOptions(), "health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, repB, err := AdaptTargets(orig, prof, DefaultOptions(), "health", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(repA, repB) {
+		t.Fatalf("reports differ:\nAdapt: %+v\nAdaptTargets(nil): %+v", repA, repB)
+	}
+}
+
+// TestOptionsKeyCoversEveryField walks Options with reflection and perturbs
+// each field in turn: every knob must change Key(), or two configs differing
+// only in that knob would poison each other's memoized cells.
+func TestOptionsKeyCoversEveryField(t *testing.T) {
+	base := DefaultOptions()
+	baseKey := base.Key()
+	rt := reflect.TypeOf(base)
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		o := base
+		fv := reflect.ValueOf(&o).Elem().Field(i)
+		switch fv.Kind() {
+		case reflect.Float64:
+			fv.SetFloat(fv.Float() + 1)
+		case reflect.Int, reflect.Int64:
+			fv.SetInt(fv.Int() + 1)
+		case reflect.Bool:
+			fv.SetBool(!fv.Bool())
+		default:
+			t.Fatalf("field %s has kind %v: teach this test about it", f.Name, fv.Kind())
+		}
+		if o.Key() == baseKey {
+			t.Errorf("perturbing %s did not change Options.Key()", f.Name)
+		}
+	}
+}

@@ -57,6 +57,16 @@ type Tool struct {
 // original program is left untouched (Figure 1: the tool re-reads the first
 // pass's IR and emits a new binary).
 func Adapt(orig *ir.Program, prof *profile.Profile, opt Options, label string) (*ir.Program, *Report, error) {
+	return AdaptTargets(orig, prof, opt, label, nil)
+}
+
+// AdaptTargets is Adapt with an explicit target set: instead of ranking
+// delinquent loads from the profile, the given static load IDs are targeted
+// in order. A nil targets slice reproduces Adapt exactly. The closed-loop
+// tuner uses this to carry targets discovered in earlier rounds across
+// re-profiling runs, where covered loads look healthy in the residual
+// profile and would otherwise lose their slices.
+func AdaptTargets(orig *ir.Program, prof *profile.Profile, opt Options, label string, targets []int) (*ir.Program, *Report, error) {
 	p := orig.Clone()
 	t := &Tool{
 		p:          p,
@@ -69,7 +79,10 @@ func Adapt(orig *ir.Program, prof *profile.Profile, opt Options, label string) (
 	if err := t.analyse(); err != nil {
 		return nil, nil, err
 	}
-	dels := prof.DelinquentLoads(opt.DelinquentCutoff, opt.MaxDelinquent)
+	dels := targets
+	if dels == nil {
+		dels = prof.DelinquentLoads(opt.DelinquentCutoff, opt.MaxDelinquent)
+	}
 	t.report.DelinquentLoads = dels
 	if len(dels) == 0 {
 		return p, t.report, nil
@@ -86,10 +99,16 @@ func Adapt(orig *ir.Program, prof *profile.Profile, opt Options, label string) (
 	for _, id := range dels {
 		fn, _, in := p.InstrByID(id)
 		if in == nil {
+			t.skip(id, "no instruction with this ID")
+			continue
+		}
+		if in.Op != ir.OpLd {
+			t.skip(id, "target is not a load")
 			continue
 		}
 		region := t.selectRegion(fn, in)
 		if region == nil {
+			t.skip(id, "no profitable region within MaxRegionDepth")
 			continue
 		}
 		choices = append(choices, choice{load: in, region: region})
@@ -105,14 +124,20 @@ func Adapt(orig *ir.Program, prof *profile.Profile, opt Options, label string) (
 	for _, r := range regionOrder {
 		sl, err := t.buildSlice(r, groups[r])
 		if err != nil || sl == nil {
+			t.skipAll(groups[r], "combined slice rejected (size/live-in bound or unanalyzable address)")
 			continue
 		}
 		sch := t.schedule(sl)
 		if sch == nil {
+			t.skipAll(groups[r], "no profitable schedule (slack below spawn overhead)")
 			continue
 		}
-		if err := t.emit(sl, sch); err != nil {
+		emitted, err := t.emit(sl, sch)
+		if err != nil {
 			return nil, nil, fmt.Errorf("ssp: codegen for %v: %w", r, err)
+		}
+		if !emitted {
+			t.skipAll(groups[r], "no legal trigger placement")
 		}
 	}
 	if err := p.Validate(); err != nil {
@@ -122,6 +147,19 @@ func Adapt(orig *ir.Program, prof *profile.Profile, opt Options, label string) (
 		return nil, nil, fmt.Errorf("ssp: self-check failed: %w", err)
 	}
 	return p, t.report, nil
+}
+
+// skip records one targeted load the pipeline dropped, so the report's
+// covered/skipped accounting stays total over DelinquentLoads.
+func (t *Tool) skip(id int, reason string) {
+	t.report.Skipped = append(t.report.Skipped, SkippedLoad{ID: id, Reason: reason})
+}
+
+// skipAll records a whole region group as skipped for the same reason.
+func (t *Tool) skipAll(loads []*ir.Instr, reason string) {
+	for _, in := range loads {
+		t.skip(in.ID, reason)
+	}
 }
 
 // analyse builds region forests and dependence graphs, folds profiled

@@ -1,0 +1,109 @@
+package tune
+
+import (
+	"context"
+	"testing"
+
+	"ssp/internal/exp"
+	"ssp/internal/sim"
+)
+
+func testTuner() *Tuner {
+	return New(exp.NewSuite(exp.ScaleTest))
+}
+
+func TestTuneMcfQuickGrid(t *testing.T) {
+	tn := testTuner()
+	res, err := tn.Tune(context.Background(), "mcf", sim.InOrder, Params{MaxRounds: 2}, QuickGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || len(res.Candidates) != len(QuickGrid()) {
+		t.Fatalf("result shape: best=%v candidates=%d", res.Best, len(res.Candidates))
+	}
+	if res.BaseCycles <= 0 || res.OneShot <= 0 {
+		t.Fatalf("base cycles %d, one-shot %v", res.BaseCycles, res.OneShot)
+	}
+	// The default configuration's round 0 IS the one-shot tool, so the
+	// best-of-search can never fall below it.
+	if res.Best.Best < res.OneShot {
+		t.Fatalf("best %.3fx below one-shot %.3fx", res.Best.Best, res.OneShot)
+	}
+	for _, c := range res.Candidates {
+		if c.Err != "" {
+			t.Fatalf("candidate %s failed: %s", c.Label, c.Err)
+		}
+		if len(c.Rounds) == 0 || len(c.Rounds) > 3 { // one-shot + MaxRounds re-profiles
+			t.Fatalf("candidate %s has %d rounds", c.Label, len(c.Rounds))
+		}
+		if c.Best <= 0 || c.BestRound < 0 || c.BestRound >= len(c.Rounds) {
+			t.Fatalf("candidate %s best %.3f at round %d of %d", c.Label, c.Best, c.BestRound, len(c.Rounds))
+		}
+		// Targets accumulate monotonically: each round's set extends the
+		// previous round's as a prefix.
+		for i := 1; i < len(c.Rounds); i++ {
+			prev, cur := c.Rounds[i-1].Targets, c.Rounds[i].Targets
+			if len(cur) < len(prev) {
+				t.Fatalf("candidate %s round %d dropped targets: %v -> %v", c.Label, i, prev, cur)
+			}
+			for j, id := range prev {
+				if cur[j] != id {
+					t.Fatalf("candidate %s round %d reordered targets: %v -> %v", c.Label, i, prev, cur)
+				}
+			}
+			if len(c.Rounds[i].NewTargets) != len(cur)-len(prev) {
+				t.Fatalf("candidate %s round %d new-target accounting: %v vs %v -> %v",
+					c.Label, i, c.Rounds[i].NewTargets, prev, cur)
+			}
+		}
+	}
+}
+
+func TestTuneMemoizesCandidates(t *testing.T) {
+	tn := testTuner()
+	ctx := context.Background()
+	r1, err := tn.Tune(ctx, "treeadd.df", sim.InOrder, Params{MaxRounds: 2}, QuickGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tn.Tune(ctx, "treeadd.df", sim.InOrder, Params{MaxRounds: 2}, QuickGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Candidates {
+		if r1.Candidates[i] != r2.Candidates[i] {
+			t.Fatalf("candidate %d recomputed instead of hitting its cell", i)
+		}
+	}
+	// Different params must not share cells.
+	r3, err := tn.Tune(ctx, "treeadd.df", sim.InOrder, Params{MaxRounds: 3}, QuickGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Candidates[0] == r1.Candidates[0] {
+		t.Fatal("params-differing searches shared a candidate cell")
+	}
+}
+
+func TestTuneRejectsEmptyGrid(t *testing.T) {
+	tn := testTuner()
+	if _, err := tn.Tune(context.Background(), "mcf", sim.InOrder, Params{}, []GridPoint{}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}
+
+func TestTuneUnknownBench(t *testing.T) {
+	tn := testTuner()
+	if _, err := tn.Tune(context.Background(), "nope", sim.InOrder, Params{}, QuickGrid()); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestCancelledTuneReturnsCtxErr(t *testing.T) {
+	tn := testTuner()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tn.Tune(ctx, "mcf", sim.InOrder, Params{}, QuickGrid()); err == nil {
+		t.Fatal("cancelled tune succeeded")
+	}
+}
