@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet test race alloc-gate bench bench-diff bench-smoke sspcheck predecode-sweep fastforward-sweep hotpath-sweep fuzz-smoke cover serve-smoke serve-load tune-smoke tune-bench
+.PHONY: check fmt vet test race alloc-gate bench bench-diff bench-smoke sspcheck predecode-sweep fastforward-sweep hotpath-sweep fuzz-smoke cover serve-smoke serve-load tune-smoke tune-bench table2 table2-check
 
 # check is the full gate: formatting, vet, the test suite under the race
 # detector (the concurrent experiment engine is exercised by internal/exp's
@@ -90,11 +90,11 @@ bench-diff:
 	fi
 
 # serve-smoke is the CI-sized exercise of the serving layer: an in-process
-# sspserved fed 3 passes over the full 28-cell matrix, every result validated
+# sspserved fed 3 passes over the full 48-cell matrix, every result validated
 # byte-for-byte against the golden-stats baseline. Fails on any request
 # error, any golden divergence, or a memo hit rate at or below 50%.
 serve-smoke:
-	$(GO) run ./cmd/serveload -jobs 84 -conc 8
+	$(GO) run ./cmd/serveload -jobs 144 -conc 8
 
 # serve-load is the full load test behind BENCH_serve.json: 2500 concurrent
 # jobs against an in-process server, golden-validated, with throughput,
@@ -117,6 +117,22 @@ tune-smoke:
 # and commit the refreshed numbers.
 tune-bench:
 	$(GO) run ./cmd/ssptune -scale paper -bench mcf -rounds 3 -grid full -require-converged -out BENCH_tune.json
+
+# table2 regenerates TABLE2.txt: the paper-scale slice-portfolio statistics
+# (per-benchmark Table 2 rows with the paper's numbers alongside, plus the
+# per-slice breakdown) with the envelope check on, so a stale TABLE2.txt can
+# never hide an out-of-envelope portfolio. Run it when touching internal/ssp
+# or the workloads and commit the refreshed table.
+table2:
+	$(GO) run ./cmd/experiments -scale paper -only table2 -envelope -quiet > TABLE2.txt
+	@cat TABLE2.txt
+
+# table2-check is the CI-sized fidelity gate on the paper's Table 2: the
+# paper-scale portfolio must stay inside the envelope — slice sizes 7-15,
+# live-ins 1-4, distinct trigger sites per benchmark, and every multi-phase
+# benchmark holding its minimum slice count.
+table2-check:
+	$(GO) run ./cmd/experiments -scale paper -only table2 -envelope -quiet >/dev/null
 
 # bench-smoke runs each internal/sim microbenchmark for a single iteration —
 # just enough to catch an execution-core change that breaks or pathologically

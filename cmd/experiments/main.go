@@ -37,6 +37,7 @@ type options struct {
 	wanted           map[string]bool
 	workers          int
 	quiet            bool
+	envelope         bool
 	cpuProf, memProf string
 }
 
@@ -46,6 +47,7 @@ func main() {
 		only    = flag.String("only", "", "comma-separated subset: "+strings.Join(exhibits, ","))
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel simulations (1 = serial)")
 		quiet   = flag.Bool("quiet", false, "suppress the per-cell progress lines on stderr")
+		envel   = flag.Bool("envelope", false, "fail if Table 2 leaves the paper's envelope (slice sizes 7-15, live-ins 1-4, per-benchmark slice minimums)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	)
@@ -67,7 +69,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: -workers must be at least 1, got %d\n", *workers)
 		os.Exit(2)
 	}
-	o := options{sc, wanted, *workers, *quiet, *cpuProf, *memProf}
+	o := options{sc, wanted, *workers, *quiet, *envel, *cpuProf, *memProf}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -86,7 +88,7 @@ func run(o options) error {
 		s.Progress = progressPrinter(os.Stderr)
 	}
 	want := func(k string) bool { return len(o.wanted) == 0 || o.wanted[k] }
-	return emit(s, want)
+	return emit(s, want, o.envelope)
 }
 
 // parseScale maps the -scale flag to a suite scale, rejecting typos instead
@@ -139,7 +141,7 @@ func progressPrinter(w *os.File) func(exp.RunKey, *sim.Result, time.Duration) {
 }
 
 // emit prints the requested exhibits in output order.
-func emit(s *exp.Suite, want func(string) bool) error {
+func emit(s *exp.Suite, want func(string) bool, envelope bool) error {
 	f2 := func(v float64) string { return fmt.Sprintf("%.2f", v) }
 	if want("fig2") {
 		rows, err := s.Figure2()
@@ -167,11 +169,42 @@ func emit(s *exp.Suite, want func(string) bool) error {
 		}
 		var cells [][]string
 		for _, r := range rows {
+			ps, pi, psz, pli := "-", "-", "-", "-"
+			if r.PaperSlices > 0 {
+				ps = fmt.Sprint(r.PaperSlices)
+				pi = fmt.Sprint(r.PaperInterproc)
+				psz = fmt.Sprintf("%.1f", r.PaperAvgSize)
+				pli = fmt.Sprintf("%.1f", r.PaperAvgLiveIns)
+			}
 			cells = append(cells, []string{r.Bench, fmt.Sprint(r.Slices), fmt.Sprint(r.Interproc),
-				fmt.Sprintf("%.1f", r.AvgSize), fmt.Sprintf("%.1f", r.AvgLiveIns)})
+				fmt.Sprintf("%.1f", r.AvgSize), fmt.Sprintf("%.1f", r.AvgLiveIns), ps, pi, psz, pli})
 		}
-		fmt.Println("Table 2: slice characteristics")
-		fmt.Println(exp.FormatTable([]string{"bench", "slices", "interproc", "avg size", "avg live-ins"}, cells))
+		fmt.Println("Table 2: slice characteristics (paper columns = source Table 2 namesake)")
+		fmt.Println(exp.FormatTable([]string{"bench", "slices", "interproc", "avg size", "avg live-ins",
+			"paper slices", "paper interproc", "paper size", "paper live-ins"}, cells))
+
+		slices, err := s.Table2Slices()
+		if err != nil {
+			return err
+		}
+		var srows [][]string
+		for _, sl := range slices {
+			srows = append(srows, []string{sl.Bench, fmt.Sprint(sl.Slice), sl.Region, sl.Trigger, sl.Model,
+				fmt.Sprint(sl.Size), fmt.Sprint(sl.LiveIns), fmt.Sprint(sl.Interprocedural), fmt.Sprint(sl.SpawnBudget)})
+		}
+		fmt.Println("Table 2 (per slice): the slice portfolio")
+		fmt.Println(exp.FormatTable([]string{"bench", "slice", "region", "trigger", "model",
+			"size", "live-ins", "interproc", "spawn budget"}, srows))
+
+		if envelope {
+			if bad := exp.Table2Envelope(rows, slices); len(bad) > 0 {
+				for _, m := range bad {
+					fmt.Fprintln(os.Stderr, "envelope:", m)
+				}
+				return fmt.Errorf("table 2 envelope: %d violation(s)", len(bad))
+			}
+			fmt.Println("Table 2 envelope: all slices within the paper's ranges (sizes 7-15, live-ins 1-4, per-benchmark slice minimums)")
+		}
 	}
 	if want("fig8") {
 		rows, err := s.Figure8()

@@ -44,7 +44,7 @@ func TestParseOnly(t *testing.T) {
 
 func TestRunSubsetSmoke(t *testing.T) {
 	s := exp.NewSuite(exp.ScaleTest)
-	if err := emit(s, func(k string) bool { return k == "table2" }); err != nil {
+	if err := emit(s, func(k string) bool { return k == "table2" }, false); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -9,14 +9,14 @@ import (
 // TestRunInProcess drives the load harness end to end against its own
 // in-process server: every result must validate against the golden baseline
 // and the memoization hit rate must clear the acceptance bar (run returns an
-// error otherwise). 84 jobs = 3 laps over the 28-cell matrix, so 2/3 of the
+// error otherwise). 144 jobs = 3 laps over the 48-cell matrix, so 2/3 of the
 // requests are guaranteed cache hits.
 func TestRunInProcess(t *testing.T) {
 	if testing.Short() {
-		t.Skip("drives 84 jobs over the full benchmark matrix")
+		t.Skip("drives 144 jobs over the full benchmark matrix")
 	}
 	o := options{
-		Jobs:     84,
+		Jobs:     144,
 		Conc:     8,
 		SSEEvery: 10,
 		Golden:   filepath.Join("..", "..", "internal", "exp", "testdata", "golden_stats.json"),

@@ -1,11 +1,14 @@
 // Command sspdot renders a program's analysis structures in Graphviz dot
-// syntax: the control-flow graph of a function (with loop annotations), or
-// the dependence graph of a region — the way the paper draws Figure 3.
+// syntax: the control-flow graph of a function (with loop annotations), the
+// dependence graph of a region — the way the paper draws Figure 3 — or the
+// adapted binary's slice portfolio (one cluster per p-slice, rooted at its
+// trigger site).
 //
 // Usage:
 //
 //	sspdot -bench mcf -func main -what cfg
 //	sspdot -in prog.ssp -func main -what dep -block loop > dep.dot
+//	sspdot -bench mcf.multi -what slices > portfolio.dot
 package main
 
 import (
@@ -13,10 +16,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"ssp/internal/cfg"
 	"ssp/internal/cliutil"
 	"ssp/internal/dep"
+	"ssp/internal/ir"
+	"ssp/internal/profile"
+	"ssp/internal/sim"
+	"ssp/internal/ssp"
 )
 
 func main() {
@@ -25,7 +33,7 @@ func main() {
 		bench = flag.String("bench", "", "built-in benchmark name")
 		scale = flag.Int("scale", 1000, "benchmark scale")
 		fn    = flag.String("func", "main", "function to render")
-		what  = flag.String("what", "cfg", "what to render: cfg or dep")
+		what  = flag.String("what", "cfg", "what to render: cfg, dep, or slices")
 		block = flag.String("block", "", "for -what dep: restrict to this block's instructions (default: whole function)")
 	)
 	flag.Parse()
@@ -39,6 +47,23 @@ func run(w io.Writer, in, bench string, scale int, fnName, what, block string) e
 	p, _, err := cliutil.LoadProgram(in, bench, scale)
 	if err != nil {
 		return err
+	}
+	if what == "slices" {
+		// Profile and adapt the loaded program, then draw its portfolio.
+		// The tiny memory hierarchy makes small -scale runs delinquent, so
+		// the rendered portfolio matches what the test-scale suite builds.
+		sc := sim.DefaultInOrder()
+		sc.UseTinyMem()
+		prof, err := profile.Collect(p, sc)
+		if err != nil {
+			return err
+		}
+		adapted, rep, err := ssp.Adapt(p, prof, ssp.DefaultOptions(), bench)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, slicesDot(adapted, rep))
+		return nil
 	}
 	f := p.FuncByName(fnName)
 	if f == nil {
@@ -74,7 +99,67 @@ func run(w io.Writer, in, bench string, scale int, fnName, what, block string) e
 		}
 		fmt.Fprint(w, dg.Dot(fnName, nodes))
 	default:
-		return fmt.Errorf("unknown -what %q (want cfg or dep)", what)
+		return fmt.Errorf("unknown -what %q (want cfg, dep, or slices)", what)
 	}
 	return nil
+}
+
+// slicesDot renders an adapted binary's slice portfolio: one cluster per
+// emitted p-slice, holding the trigger site (the block whose chk.c arms the
+// slice) and the attachment blocks the tool appended (the live-in stub and
+// the slice bodies), with chk.c, spawn, and branch edges. Independent slices
+// render as disjoint clusters, so a multi-phase benchmark shows one box per
+// hot region.
+func slicesDot(p *ir.Program, rep *ssp.Report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", "slices: "+rep.Benchmark)
+	sb.WriteString("\tnode [shape=box, fontname=\"monospace\"];\n")
+	for k, sl := range rep.Slices {
+		stubLabel := fmt.Sprintf("ssp_stub_%d", k)
+		slicePrefix := fmt.Sprintf("ssp_slice_%d", k)
+		member := func(label string) bool {
+			return label == stubLabel || label == slicePrefix ||
+				strings.HasPrefix(label, slicePrefix+"_")
+		}
+		node := func(label string) string { return fmt.Sprintf("s%d_%s", k, label) }
+		fnName, _, _ := strings.Cut(sl.Trigger, ".")
+		fmt.Fprintf(&sb, "\tsubgraph cluster_slice_%d {\n", k)
+		fmt.Fprintf(&sb, "\t\tlabel=\"slice %d: %s\\n%s, %d instrs, %d live-ins\";\n",
+			k, sl.Region, sl.Model, sl.Size, sl.LiveIns)
+		trig := fmt.Sprintf("s%d_trigger", k)
+		fmt.Fprintf(&sb, "\t\t%s [label=\"trigger %s\", style=bold];\n", trig, sl.Trigger)
+		f := p.FuncByName(fnName)
+		if f == nil {
+			// A malformed trigger name still yields a self-contained
+			// cluster; the trigger node alone marks the gap.
+			fmt.Fprintf(&sb, "\t}\n")
+			continue
+		}
+		var blocks []*ir.Block
+		for _, b := range f.Blocks {
+			if member(b.Label) {
+				blocks = append(blocks, b)
+				fmt.Fprintf(&sb, "\t\t%s [label=\"%s (%d instrs)\"];\n", node(b.Label), b.Label, len(b.Instrs))
+			}
+		}
+		// The chk.c instruction sits in the trigger block and arms the stub.
+		fmt.Fprintf(&sb, "\t\t%s -> %s [label=\"chk.c\", style=dashed];\n", trig, node(stubLabel))
+		for _, b := range blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpSpawn:
+					if member(in.Target) {
+						fmt.Fprintf(&sb, "\t\t%s -> %s [label=\"spawn\", color=blue];\n", node(b.Label), node(in.Target))
+					}
+				case ir.OpBr:
+					if member(in.Target) {
+						fmt.Fprintf(&sb, "\t\t%s -> %s;\n", node(b.Label), node(in.Target))
+					}
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "\t}\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
 }

@@ -90,3 +90,40 @@ func TestRunAdaptedBinary(t *testing.T) {
 		t.Error("run accepted an unknown -what")
 	}
 }
+
+// TestRunSlicePortfolio renders the slice portfolio of a multi-phase
+// benchmark: one cluster per independent p-slice, each rooted at its own
+// trigger site, with the spawn edges that arm the precomputation.
+func TestRunSlicePortfolio(t *testing.T) {
+	spec, err := workloads.ByName("mcf.multi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(&out, "", "mcf.multi", spec.TestScale, "main", "slices", ""); err != nil {
+		t.Fatal(err)
+	}
+	dot := out.String()
+	checkDot(t, dot)
+	if n := strings.Count(dot, "subgraph cluster_slice_"); n < 2 {
+		t.Fatalf("multi-phase benchmark rendered %d slice clusters, want >= 2:\n%s", n, dot)
+	}
+	if !strings.Contains(dot, "spawn") {
+		t.Fatalf("no spawn edges in portfolio:\n%s", dot)
+	}
+	// Each cluster must carry its own trigger site, and the sites must
+	// differ: independent slices are armed from different blocks.
+	trigs := map[string]bool{}
+	for _, line := range strings.Split(dot, "\n") {
+		if i := strings.Index(line, "trigger main."); i >= 0 {
+			rest := line[i+len("trigger "):]
+			if j := strings.IndexAny(rest, "\\\""); j >= 0 {
+				rest = rest[:j]
+			}
+			trigs[rest] = true
+		}
+	}
+	if len(trigs) < 2 {
+		t.Fatalf("want >= 2 distinct trigger sites, got %v in:\n%s", trigs, dot)
+	}
+}

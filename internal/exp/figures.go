@@ -8,6 +8,7 @@ import (
 
 	"ssp/internal/sim"
 	"ssp/internal/sim/mem"
+	"ssp/internal/workloads"
 )
 
 // Fig2Row reproduces one category of Figure 2: speedups over the same
@@ -25,7 +26,7 @@ func (s *Suite) Figure2() ([]Fig2Row, error) {
 		return nil, err
 	}
 	var rows []Fig2Row
-	for _, b := range Benchmarks() {
+	for _, b := range PaperBenchmarks() {
 		r := Fig2Row{Bench: b}
 		var err error
 		if r.PerfMemIO, err = s.Speedup(b, sim.InOrder, VarBase, sim.InOrder, VarPerfMem); err != nil {
@@ -45,16 +46,52 @@ func (s *Suite) Figure2() ([]Fig2Row, error) {
 	return rows, nil
 }
 
-// Table2Row is one row of Table 2.
+// Table2Row is one per-benchmark row of Table 2, with the source paper's
+// numbers alongside for the kernels that have a namesake there (the Paper*
+// fields are zero for benchmarks with no counterpart, e.g. the rand.*
+// family). Multi-phase variants compare against their base kernel's row:
+// the paper's full benchmarks have several hot routines each earning a
+// slice, which is exactly the shape the *.multi kernels reintroduce.
 type Table2Row struct {
-	Bench      string
-	Slices     int
-	Interproc  int
-	AvgSize    float64
-	AvgLiveIns float64
+	Bench      string  `json:"bench"`
+	Slices     int     `json:"slices"`
+	Interproc  int     `json:"interproc"`
+	AvgSize    float64 `json:"avg_size"`
+	AvgLiveIns float64 `json:"avg_live_ins"`
+
+	PaperSlices     int     `json:"paper_slices,omitempty"`
+	PaperInterproc  int     `json:"paper_interproc,omitempty"`
+	PaperAvgSize    float64 `json:"paper_avg_size,omitempty"`
+	PaperAvgLiveIns float64 `json:"paper_avg_live_ins,omitempty"`
 }
 
-// Table2 reports slice characteristics of the tool's output.
+// paperTable2 pins the source paper's Table 2 rows.
+var paperTable2 = map[string]Table2Row{
+	"em3d":       {PaperSlices: 8, PaperInterproc: 0, PaperAvgSize: 10.3, PaperAvgLiveIns: 2.8},
+	"health":     {PaperSlices: 2, PaperInterproc: 1, PaperAvgSize: 9.0, PaperAvgLiveIns: 3.5},
+	"mst":        {PaperSlices: 4, PaperInterproc: 1, PaperAvgSize: 28.3, PaperAvgLiveIns: 4.8},
+	"treeadd.df": {PaperSlices: 3, PaperInterproc: 0, PaperAvgSize: 11.3, PaperAvgLiveIns: 3.0},
+	"treeadd.bf": {PaperSlices: 2, PaperInterproc: 0, PaperAvgSize: 12.5, PaperAvgLiveIns: 4.5},
+	"mcf":        {PaperSlices: 5, PaperInterproc: 0, PaperAvgSize: 14.0, PaperAvgLiveIns: 4.4},
+	"vpr":        {PaperSlices: 6, PaperInterproc: 0, PaperAvgSize: 13.5, PaperAvgLiveIns: 4.0},
+}
+
+// paperCounterpart maps a benchmark to its paper Table 2 namesake: the
+// benchmark itself, or for the multi-phase variants the base kernel they
+// scale up ("mcf.multi" compares against the paper's mcf row).
+func paperCounterpart(bench string) (Table2Row, bool) {
+	if r, ok := paperTable2[bench]; ok {
+		return r, true
+	}
+	if base, _, ok := strings.Cut(bench, ".multi"); ok {
+		r, ok := paperTable2[base]
+		return r, ok
+	}
+	return Table2Row{}, false
+}
+
+// Table2 reports per-benchmark slice characteristics of the tool's output
+// across every benchmark (paper kernels and the multi-phase portfolio ones).
 func (s *Suite) Table2() ([]Table2Row, error) {
 	var rows []Table2Row
 	for _, b := range Benchmarks() {
@@ -62,15 +99,117 @@ func (s *Suite) Table2() ([]Table2Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, Table2Row{
+		row := Table2Row{
 			Bench:      b,
 			Slices:     rep.NumSlices(),
 			Interproc:  rep.NumInterproc(),
 			AvgSize:    rep.AvgSize(),
 			AvgLiveIns: rep.AvgLiveIns(),
-		})
+		}
+		if ref, ok := paperCounterpart(b); ok {
+			row.PaperSlices = ref.PaperSlices
+			row.PaperInterproc = ref.PaperInterproc
+			row.PaperAvgSize = ref.PaperAvgSize
+			row.PaperAvgLiveIns = ref.PaperAvgLiveIns
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// Table2Slice is one per-slice row of the machine-readable Table 2: which
+// region the slice precomputes for, where its trigger sits, and the Table 2
+// statistics that the envelope check gates.
+type Table2Slice struct {
+	Bench           string `json:"bench"`
+	Slice           int    `json:"slice"`
+	Region          string `json:"region"`
+	Trigger         string `json:"trigger"`
+	Model           string `json:"model"`
+	Targets         []int  `json:"targets"`
+	Size            int    `json:"size"`
+	LiveIns         int    `json:"live_ins"`
+	Interprocedural bool   `json:"interprocedural"`
+	SpawnBudget     int64  `json:"spawn_budget"`
+}
+
+// Table2Slices flattens every benchmark's report into per-slice rows, the
+// slice-portfolio companion to Table2's per-benchmark averages.
+func (s *Suite) Table2Slices() ([]Table2Slice, error) {
+	var rows []Table2Slice
+	for _, b := range Benchmarks() {
+		rep, err := s.Report(b, VarSSP)
+		if err != nil {
+			return nil, err
+		}
+		for i, sl := range rep.Slices {
+			rows = append(rows, Table2Slice{
+				Bench:           b,
+				Slice:           i,
+				Region:          sl.Region,
+				Trigger:         sl.Trigger,
+				Model:           sl.Model,
+				Targets:         sl.Targets,
+				Size:            sl.Size,
+				LiveIns:         sl.LiveIns,
+				Interprocedural: sl.Interprocedural,
+				SpawnBudget:     sl.SpawnBudget,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Table2Envelope checks the generated portfolio against the paper's Table 2
+// envelope and each benchmark's declared phase count, returning one message
+// per violation (empty means the portfolio is inside the envelope):
+//
+//   - every slice's size lands in the paper's 7-15 instruction range and its
+//     live-in count in the 1-4 range;
+//   - every benchmark produces at least Spec.MinSlices slices (multi-phase
+//     benchmarks declare >= 2), each with a distinct trigger site.
+//
+// `make table2-check` and the CI workflow fail on any violation.
+func Table2Envelope(rows []Table2Row, slices []Table2Slice) []string {
+	const (
+		minSize, maxSize       = 7, 15
+		minLiveIns, maxLiveIns = 1, 4
+	)
+	var bad []string
+	triggers := make(map[string]map[string]bool)
+	for _, sl := range slices {
+		if sl.Size < minSize || sl.Size > maxSize {
+			bad = append(bad, fmt.Sprintf("%s slice %d (%s): size %d outside Table 2 envelope [%d,%d]",
+				sl.Bench, sl.Slice, sl.Region, sl.Size, minSize, maxSize))
+		}
+		if sl.LiveIns < minLiveIns || sl.LiveIns > maxLiveIns {
+			bad = append(bad, fmt.Sprintf("%s slice %d (%s): %d live-ins outside Table 2 envelope [%d,%d]",
+				sl.Bench, sl.Slice, sl.Region, sl.LiveIns, minLiveIns, maxLiveIns))
+		}
+		if triggers[sl.Bench] == nil {
+			triggers[sl.Bench] = make(map[string]bool)
+		}
+		if triggers[sl.Bench][sl.Trigger] {
+			bad = append(bad, fmt.Sprintf("%s slice %d (%s): trigger %s shared with another slice",
+				sl.Bench, sl.Slice, sl.Region, sl.Trigger))
+		}
+		triggers[sl.Bench][sl.Trigger] = true
+	}
+	for _, r := range rows {
+		spec, err := workloads.ByName(r.Bench)
+		if err != nil {
+			bad = append(bad, fmt.Sprintf("%s: unknown benchmark: %v", r.Bench, err))
+			continue
+		}
+		min := spec.MinSlices
+		if min < 1 {
+			min = 1
+		}
+		if r.Slices < min {
+			bad = append(bad, fmt.Sprintf("%s: %d slices, want >= %d independent slices", r.Bench, r.Slices, min))
+		}
+	}
+	return bad
 }
 
 // Fig8Row is one benchmark of Figure 8: speedups over the baseline in-order
@@ -86,7 +225,7 @@ func (s *Suite) Figure8() ([]Fig8Row, error) {
 		return nil, err
 	}
 	var rows []Fig8Row
-	for _, b := range Benchmarks() {
+	for _, b := range PaperBenchmarks() {
 		r := Fig8Row{Bench: b}
 		var err error
 		if r.InOrderSSP, err = s.Speedup(b, sim.InOrder, VarBase, sim.InOrder, VarSSP); err != nil {
@@ -126,7 +265,7 @@ func (s *Suite) Figure9() ([]Fig9Row, error) {
 		return nil, err
 	}
 	var rows []Fig9Row
-	for _, b := range Benchmarks() {
+	for _, b := range PaperBenchmarks() {
 		ps, err := s.prog(context.Background(), b)
 		if err != nil {
 			return nil, err
@@ -207,7 +346,7 @@ func (s *Suite) Figure10() ([]Fig10Row, error) {
 		return nil, err
 	}
 	var rows []Fig10Row
-	for _, b := range Benchmarks() {
+	for _, b := range PaperBenchmarks() {
 		base, err := s.Run(b, sim.InOrder, VarBase)
 		if err != nil {
 			return nil, err
@@ -289,7 +428,7 @@ type AblationRow struct {
 // Ablations measures each disabled design choice on the in-order model.
 func (s *Suite) Ablations(benches []string) ([]AblationRow, error) {
 	if benches == nil {
-		benches = Benchmarks()
+		benches = PaperBenchmarks()
 	}
 	if err := s.presimulate(AblationKeys(benches)); err != nil {
 		return nil, err

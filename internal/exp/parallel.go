@@ -109,15 +109,15 @@ func Cross(benches []string, models []sim.Model, variants []Variant) []RunKey {
 var bothModels = []sim.Model{sim.InOrder, sim.OOO}
 
 // Fig2Keys lists the cells Figure 2 needs: both models' baselines and the
-// two perfect-memory bounds for every benchmark.
+// two perfect-memory bounds for every paper benchmark.
 func Fig2Keys() []RunKey {
-	return Cross(Benchmarks(), bothModels, []Variant{VarBase, VarPerfMem, VarPerfDel})
+	return Cross(PaperBenchmarks(), bothModels, []Variant{VarBase, VarPerfMem, VarPerfDel})
 }
 
 // Fig8Keys lists the cells Figures 8, 9, and 10 need: baseline and SSP on
-// both models for every benchmark.
+// both models for every paper benchmark.
 func Fig8Keys() []RunKey {
-	return Cross(Benchmarks(), bothModels, []Variant{VarBase, VarSSP})
+	return Cross(PaperBenchmarks(), bothModels, []Variant{VarBase, VarSSP})
 }
 
 // Sec45Keys lists the §4.5 cells: baseline, tool, and hand adaptation of
@@ -130,10 +130,10 @@ func Sec45Keys() []RunKey {
 var ablationVariants = []Variant{VarSSP, VarNoChain, VarNoRotate, VarNoPred, VarNoSpec, VarUnroll}
 
 // AblationKeys lists the in-order ablation cells for the given benchmarks
-// (nil means all of them).
+// (nil means the paper benchmarks).
 func AblationKeys(benches []string) []RunKey {
 	if benches == nil {
-		benches = Benchmarks()
+		benches = PaperBenchmarks()
 	}
 	return Cross(benches, []sim.Model{sim.InOrder}, append([]Variant{VarBase}, ablationVariants...))
 }

@@ -142,6 +142,79 @@ func (pr *Profile) DelinquentLoads(cutoff float64, max int) []int {
 	return out
 }
 
+// DelinquentLoadsByRegion ranks delinquent loads within hot regions instead
+// of across the whole program: loads are grouped by the region key that
+// regionOf assigns them, regions carrying less than minFrac of all miss
+// cycles are dropped, and the §2.2 cutoff/max selection of DelinquentLoads is
+// applied per region against that region's own miss-cycle total. Regions are
+// emitted hottest first, so the result concatenates one target set per hot
+// region — the portfolio shape of Table 2, where each hot routine gets its
+// own p-slice. On a single-hot-region profile the result is identical to
+// DelinquentLoads.
+//
+// A load regionOf maps to "" is unattributable (e.g. its instruction is gone
+// from the current image) and competes in a region of its own. If selection
+// comes up empty despite candidates existing, the global ranking is returned
+// so callers never lose targets to over-aggressive region filtering.
+func (pr *Profile) DelinquentLoadsByRegion(cutoff float64, max int, minFrac float64, regionOf func(id int) string) []int {
+	type cand struct {
+		id int
+		mc uint64
+	}
+	byRegion := make(map[string][]cand)
+	regionMC := make(map[string]uint64)
+	any := false
+	for id, s := range pr.Loads {
+		if s.MissCycles == 0 {
+			continue
+		}
+		any = true
+		key := regionOf(id)
+		byRegion[key] = append(byRegion[key], cand{id, s.MissCycles})
+		regionMC[key] += s.MissCycles
+	}
+	keys := make([]string, 0, len(byRegion))
+	for key := range byRegion {
+		if float64(regionMC[key]) < minFrac*float64(pr.TotalMissCycles) {
+			continue
+		}
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if regionMC[keys[i]] != regionMC[keys[j]] {
+			return regionMC[keys[i]] > regionMC[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	var out []int
+	for _, key := range keys {
+		cands := byRegion[key]
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].mc != cands[j].mc {
+				return cands[i].mc > cands[j].mc
+			}
+			return cands[i].id < cands[j].id
+		})
+		lim := max
+		if lim <= 0 {
+			lim = len(cands)
+		}
+		target := cutoff * float64(regionMC[key])
+		var cum uint64
+		for i, c := range cands {
+			if i >= lim || (i > 0 && float64(cum) >= target) {
+				break
+			}
+			out = append(out, c.id)
+			cum += c.mc
+		}
+	}
+	if len(out) == 0 && any {
+		return pr.DelinquentLoads(cutoff, max)
+	}
+	return out
+}
+
 // Rebase returns a profile whose load statistics come from an actual run's
 // dense per-load stats (res.Hier) restricted to the loads of program p: the
 // feedback harvest of the closed-loop tuner. Execution frequencies, block

@@ -22,6 +22,14 @@ func FuzzAdaptRandomProgram(f *testing.F) {
 		f.Add(seed, uint8(0xff))
 	}
 	f.Add(int64(-3), uint8(0b10101))
+	// Seeds whose generated program grows a second hot phase (1 in 4 draws):
+	// the fuzz corpus must exercise the multi-region portfolio pipeline, not
+	// just single-loop programs. TestRandomProgramTwoPhaseSeedsAdapt pins
+	// that these produce >= 2 independent slices today.
+	for _, seed := range []int64{8, 16} {
+		f.Add(seed, uint8(0))
+		f.Add(seed, uint8(0xff))
+	}
 	f.Fuzz(func(t *testing.T, seed int64, optBits uint8) {
 		p := workloads.RandomProgram(seed)
 		prof, err := profile.Collect(p, tinyConfig())
@@ -48,4 +56,33 @@ func FuzzAdaptRandomProgram(f *testing.F) {
 			t.Fatalf("seed %d optBits %#x: adapted binary fails VerifyAttachments: %v", seed, optBits, err)
 		}
 	})
+}
+
+// TestRandomProgramTwoPhaseSeedsAdapt pins the fuzz corpus's multi-region
+// seeds: each generates a two-phase random program (the 1-in-4 second-phase
+// draw fired) whose adaptation yields independent slices in separate
+// regions — the corpus genuinely reaches the portfolio pipeline.
+func TestRandomProgramTwoPhaseSeedsAdapt(t *testing.T) {
+	for _, seed := range []int64{1, 8, 16} {
+		p := workloads.RandomProgram(seed)
+		if p.FuncByName("main").BlockByLabel("loop2") == nil {
+			t.Fatalf("seed %d no longer generates a second hot phase", seed)
+		}
+		prof, err := profile.Collect(p, tinyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rep, err := Adapt(p, prof, DefaultOptions(), "fuzzseed")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		regions := map[string]bool{}
+		for _, s := range rep.Slices {
+			regions[s.Region] = true
+		}
+		if rep.NumSlices() < 2 || len(regions) < 2 {
+			t.Fatalf("seed %d: %d slices over regions %v, want >= 2 independent slices",
+				seed, rep.NumSlices(), regions)
+		}
+	}
 }

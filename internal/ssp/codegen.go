@@ -11,9 +11,12 @@ import (
 // that copies live-ins into the live-in buffer and spawns, and the slice
 // block(s) holding the precomputation, appended after the function in which
 // the trigger resides. It also appends the slice's Table 2 row to the
-// report. It returns false (with no error) when no legal trigger placement
-// exists, so the caller can account for the slice's targets as skipped.
-func (t *Tool) emit(sl *Slice, sch *Schedule) (bool, error) {
+// report. chainBound is this slice's share of Options.ChainBound — the
+// portfolio budgeter divides the bound across concurrently-armed slices so
+// one chain cannot starve the others of spec contexts. It returns false
+// (with no error) when no legal trigger placement exists, so the caller can
+// account for the slice's targets as skipped.
+func (t *Tool) emit(sl *Slice, sch *Schedule, chainBound int64) (bool, error) {
 	f := sl.Region.F
 	tp, ok := t.placeTrigger(sl)
 	if !ok {
@@ -31,8 +34,8 @@ func (t *Tool) emit(sl *Slice, sch *Schedule) (bool, error) {
 		// Each chain link covers ChainUnroll iterations.
 		bound /= int64(t.opt.ChainUnroll)
 	}
-	if bound > t.opt.ChainBound {
-		bound = t.opt.ChainBound
+	if bound > chainBound {
+		bound = chainBound
 	}
 	if bound < 2 {
 		bound = 2
@@ -144,6 +147,8 @@ func (t *Tool) emit(sl *Slice, sch *Schedule) (bool, error) {
 	t.report.Slices = append(t.report.Slices, SliceInfo{
 		Targets:         targetIDs(sl),
 		Region:          sl.Region.String(),
+		Trigger:         f.Name + "." + tp.block.Label,
+		Model:           sch.Model.String(),
 		Size:            sl.Size(),
 		LiveIns:         len(sl.LiveIns),
 		Interprocedural: sl.Interprocedural(),
@@ -153,6 +158,7 @@ func (t *Tool) emit(sl *Slice, sch *Schedule) (bool, error) {
 		SlackBSP:        sch.RateBSP,
 		AvailableILP:    sch.AvailableILP,
 		TripCount:       sch.TripsPerEntry,
+		SpawnBudget:     bound,
 	})
 	return true, nil
 }

@@ -19,6 +19,13 @@ type Options struct {
 	// MaxDelinquent caps how many static loads are targeted.
 	MaxDelinquent int
 
+	// MinRegionMissFrac is the per-region ranking floor: when delinquent
+	// loads are ranked within hot regions (the slice-portfolio pipeline), a
+	// region contributing less than this fraction of all miss cycles is not
+	// considered hot and contributes no targets. It keeps cold regions from
+	// earning a p-slice whose spawn overhead outweighs its prefetches.
+	MinRegionMissFrac float64
+
 	// ReducedMissCutoff is the region-selection threshold: the first
 	// region whose reduced miss cycles exceed this fraction of the
 	// region's miss cycles is chosen (§3.4.1: "the product of the cutoff
@@ -28,6 +35,11 @@ type Options struct {
 	// expansion steps, "to avoid a slice becoming too big that often leads
 	// to wrong address calculations" (§3.4.1).
 	MaxRegionDepth int
+	// MaxContextDepth bounds the interprocedural context chain a slice may
+	// inline when its region sits below a call (context-sensitive slicing,
+	// §3.1.2): the number of dominant-caller hops walked from the region's
+	// function toward the trigger's function.
+	MaxContextDepth int
 
 	// MaxSliceSize prunes slices that grow beyond this many instructions
 	// (slice-pruning, §3.1.2).
@@ -89,8 +101,10 @@ func DefaultOptions() Options {
 	return Options{
 		DelinquentCutoff:   0.90,
 		MaxDelinquent:      10,
+		MinRegionMissFrac:  0.02,
 		ReducedMissCutoff:  0.30,
 		MaxRegionDepth:     4,
+		MaxContextDepth:    8,
 		MaxSliceSize:       48,
 		MaxLiveIns:         8,
 		SpeculativeSlicing: true,
@@ -120,26 +134,29 @@ func (o Options) Key() string {
 }
 
 // Report summarizes an adaptation in the shape of Table 2, plus diagnostics.
+// The JSON encoding is the machine-readable Table 2 consumed by the
+// experiment drivers and `make table2`.
 type Report struct {
 	// Benchmark is a caller-provided label.
-	Benchmark string
+	Benchmark string `json:"benchmark"`
 	// DelinquentLoads lists the targeted static load IDs.
-	DelinquentLoads []int
+	DelinquentLoads []int `json:"delinquent_loads"`
 	// Slices describes every generated p-slice.
-	Slices []SliceInfo
+	Slices []SliceInfo `json:"slices"`
 	// Skipped lists targeted loads the tool could not cover, with the
 	// pipeline stage that dropped them. Together with Slices it accounts
 	// for every targeted load: each ID in DelinquentLoads appears either
 	// in some slice's Targets or here, never silently vanishing.
-	Skipped []SkippedLoad
+	Skipped []SkippedLoad `json:"skipped,omitempty"`
 }
 
 // SkippedLoad records one delinquent load the tool targeted but dropped.
 type SkippedLoad struct {
 	// ID is the static load ID from DelinquentLoads.
-	ID int
-	// Reason names the stage that rejected the load.
-	Reason string
+	ID int `json:"id"`
+	// Reason names the stage that rejected the load; stages that reject a
+	// whole region group prefix the rejecting region's name.
+	Reason string `json:"reason"`
 }
 
 // Covered reports whether load id made it into some emitted slice.
@@ -157,30 +174,41 @@ func (r *Report) Covered(id int) bool {
 // SliceInfo is one row's worth of Table 2 data for a single p-slice.
 type SliceInfo struct {
 	// Targets are the delinquent load IDs this slice prefetches.
-	Targets []int
+	Targets []int `json:"targets"`
 	// Region names the selected region.
-	Region string
+	Region string `json:"region"`
+	// Trigger names the trigger site as "func.block": where this slice's
+	// chk.c was embedded. Independent slices have distinct trigger sites.
+	Trigger string `json:"trigger"`
+	// Model names the selected precomputation model (chaining, basic-loop,
+	// basic-oneshot).
+	Model string `json:"model"`
 	// Size is the number of precomputation instructions in the slice body
 	// (excluding live-in plumbing and thread control).
-	Size int
+	Size int `json:"size"`
 	// LiveIns is the number of live-in values copied at the trigger.
-	LiveIns int
+	LiveIns int `json:"live_ins"`
 	// Interprocedural marks slices assembled from more than one function
 	// (§4.2: "interprocedural slices contribute to larger slack value").
-	Interprocedural bool
+	Interprocedural bool `json:"interprocedural"`
 	// Chaining records the selected precomputation model.
-	Chaining bool
+	Chaining bool `json:"chaining"`
 	// Predicted records whether the spawn condition was predicted.
-	Predicted bool
+	Predicted bool `json:"predicted"`
 	// SlackCSP and SlackBSP are the per-iteration slack estimates of
 	// §3.2.1.2.2 and §3.2.2.
-	SlackCSP, SlackBSP float64
+	SlackCSP float64 `json:"slack_csp"`
+	SlackBSP float64 `json:"slack_bsp"`
 	// AvailableILP is the slice's available instruction-level parallelism
 	// (§3.2.1.2.2); the tool reports it to justify the height-priority
 	// scheduling heuristic.
-	AvailableILP float64
+	AvailableILP float64 `json:"available_ilp"`
 	// TripCount is the region's estimated iteration count.
-	TripCount float64
+	TripCount float64 `json:"trip_count"`
+	// SpawnBudget is the effective chain/countdown bound this slice was
+	// emitted with: ChainBound divided across the concurrently-armed slices
+	// of the portfolio so they cannot starve each other of spec contexts.
+	SpawnBudget int64 `json:"spawn_budget"`
 }
 
 // NumSlices returns the slice count (Table 2, "Slices").

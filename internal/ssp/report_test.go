@@ -2,9 +2,11 @@ package ssp
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"ssp/internal/ir"
+	"ssp/internal/profile"
 	"ssp/internal/workloads"
 )
 
@@ -94,6 +96,44 @@ func TestSkippedWhenEveryRegionRejected(t *testing.T) {
 	if len(rep.Skipped) != len(rep.DelinquentLoads) {
 		t.Fatalf("Skipped has %d entries, want all %d targets: %+v",
 			len(rep.Skipped), len(rep.DelinquentLoads), rep.Skipped)
+	}
+	// Region-stage rejections name the rejecting region, so a portfolio
+	// report says WHICH hot region lost its slice, not just that one did.
+	for _, s := range rep.Skipped {
+		if !strings.Contains(s.Reason, "main:loop") {
+			t.Errorf("skip %d reason %q does not name the rejecting region", s.ID, s.Reason)
+		}
+	}
+}
+
+// TestSkippedReasonsNameRegionPerGroup drives a two-region program into
+// whole-portfolio rejection: each region group's skip reason must carry its
+// own region name, so the two phases are distinguishable in the report.
+func TestSkippedReasonsNameRegionPerGroup(t *testing.T) {
+	p, _ := twoPhaseProgram(900)
+	prof, err := profile.Collect(p, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.MaxSliceSize = 0
+	_, rep, err := Adapt(p, prof, opt, "twophase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumSlices() != 0 || len(rep.Skipped) == 0 {
+		t.Fatalf("want a fully rejected portfolio, got %d slices, %d skips", rep.NumSlices(), len(rep.Skipped))
+	}
+	regions := map[string]bool{}
+	for _, s := range rep.Skipped {
+		region, _, ok := strings.Cut(s.Reason, ": ")
+		if !ok {
+			t.Fatalf("skip %d reason %q has no region prefix", s.ID, s.Reason)
+		}
+		regions[region] = true
+	}
+	if len(regions) != 2 {
+		t.Fatalf("skip reasons name regions %v, want both hot loops", regions)
 	}
 }
 

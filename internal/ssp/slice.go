@@ -99,7 +99,7 @@ func (t *Tool) contextChain(regionFn, fn string) (map[string]*bindSite, error) {
 			return nil, fmt.Errorf("ssp: recursive context chain at %s", cur)
 		}
 		cur = site.Caller.Name
-		if len(chain) > 8 {
+		if len(chain) > t.opt.MaxContextDepth {
 			return nil, fmt.Errorf("ssp: context chain too deep for %s", fn)
 		}
 	}

@@ -3,8 +3,11 @@
 // delinquent loads once, adapts once. Tune instead runs the adapted image,
 // harvests the dense per-load miss-cycle stats from that run itself
 // (profile.Rebase), re-ranks the residual delinquent loads with
-// profile.DelinquentLoads, re-slices with ssp.AdaptTargets, and iterates
-// until the speedup converges (epsilon + max-rounds stopping rule). Every
+// ssp.RankTargets — the same per-hot-region portfolio ranking the one-shot
+// tool uses, so a region whose misses only become prominent once the first
+// portfolio covers the dominant one earns its own slice in a later round —
+// re-slices with ssp.AdaptTargets, and iterates until the speedup converges
+// (epsilon + max-rounds stopping rule). Every
 // round is gated by the check layer: conservation on the round's result
 // (inside exp.Suite's execution discipline) and the metamorphic invariant
 // against the baseline run, so a bad re-adapt can never regress silently.
@@ -119,6 +122,12 @@ type Round struct {
 	NewTargets []int `json:"new_targets,omitempty"`
 	// Skipped carries the tool's covered/skipped accounting for the round.
 	Skipped []ssp.SkippedLoad `json:"skipped,omitempty"`
+	// Regions names the hot regions the round's slice portfolio covers, in
+	// slice order without duplicates.
+	Regions []string `json:"regions,omitempty"`
+	// NewRegions lists regions covered for the first time this round: the
+	// re-profiling loop surfaced a hot region the earlier portfolios missed.
+	NewRegions []string `json:"new_regions,omitempty"`
 	// Slices is the adapted image's p-slice count.
 	Slices int `json:"slices"`
 	// Cycles is the round's simulated cycle count.
@@ -312,11 +321,17 @@ func (t *Tuner) loop(ctx context.Context, bench string, model sim.Model, params 
 	for _, id := range targets {
 		have[id] = true
 	}
+	regions := sliceRegions(rep)
+	seenRegion := make(map[string]bool, len(regions))
+	for _, r := range regions {
+		seenRegion[r] = true
+	}
 	resProf := prof.Rebase(res, orig)
 	prev := t.record(cand, Round{
 		Round:              0,
 		Targets:            targets,
 		Skipped:            rep.Skipped,
+		Regions:            regions,
 		Slices:             rep.NumSlices(),
 		Cycles:             res.Cycles,
 		Speedup:            float64(baseCycles) / float64(res.Cycles),
@@ -324,11 +339,15 @@ func (t *Tuner) loop(ctx context.Context, bench string, model sim.Model, params 
 	}, bench, model, gp.Label)
 
 	for round := 1; round <= params.MaxRounds; round++ {
-		// Re-rank from the residual profile; keep every prior target
-		// (covered loads look healthy in the residual — dropping them
-		// would undo working slices and oscillate).
+		// Re-rank from the residual profile with the portfolio ranking;
+		// keep every prior target (covered loads look healthy in the
+		// residual — dropping them would undo working slices and
+		// oscillate). A region that was below the hotness floor while the
+		// dominant region's misses swamped the profile can clear it here
+		// once those misses are prefetched away, adding its loads — and a
+		// new slice — to the union.
 		var newTargets []int
-		for _, id := range resProf.DelinquentLoads(opt.DelinquentCutoff, opt.MaxDelinquent) {
+		for _, id := range ssp.RankTargets(orig, resProf, opt) {
 			if !have[id] {
 				have[id] = true
 				newTargets = append(newTargets, id)
@@ -359,6 +378,14 @@ func (t *Tuner) loop(ctx context.Context, bench string, model sim.Model, params 
 			return nil, fmt.Errorf("%w: %s round %d: %v", ErrGate, label, round, err)
 		}
 
+		regions = sliceRegions(rep)
+		var newRegions []string
+		for _, r := range regions {
+			if !seenRegion[r] {
+				seenRegion[r] = true
+				newRegions = append(newRegions, r)
+			}
+		}
 		resProf = prof.Rebase(res, orig)
 		sp := float64(baseCycles) / float64(res.Cycles)
 		t.record(cand, Round{
@@ -366,6 +393,8 @@ func (t *Tuner) loop(ctx context.Context, bench string, model sim.Model, params 
 			Targets:            append([]int(nil), targets...),
 			NewTargets:         newTargets,
 			Skipped:            rep.Skipped,
+			Regions:            regions,
+			NewRegions:         newRegions,
 			Slices:             rep.NumSlices(),
 			Cycles:             res.Cycles,
 			Speedup:            sp,
@@ -395,6 +424,20 @@ func (t *Tuner) record(cand *Candidate, r Round, bench string, model sim.Model, 
 		bench, model, label, r.Round, r.Speedup, len(r.Targets), r.Slices, len(r.NewTargets),
 		r.ResidualMissCycles/1_000_000)
 	return r.Speedup
+}
+
+// sliceRegions returns the distinct regions of a report's slice portfolio in
+// slice order.
+func sliceRegions(rep *ssp.Report) []string {
+	var out []string
+	seen := make(map[string]bool, len(rep.Slices))
+	for _, s := range rep.Slices {
+		if !seen[s.Region] {
+			seen[s.Region] = true
+			out = append(out, s.Region)
+		}
+	}
+	return out
 }
 
 func abs(x float64) float64 {

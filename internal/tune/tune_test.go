@@ -6,6 +6,7 @@ import (
 
 	"ssp/internal/exp"
 	"ssp/internal/sim"
+	"ssp/internal/ssp"
 )
 
 func testTuner() *Tuner {
@@ -82,6 +83,50 @@ func TestTuneMemoizesCandidates(t *testing.T) {
 	}
 	if r3.Candidates[0] == r1.Candidates[0] {
 		t.Fatal("params-differing searches shared a candidate cell")
+	}
+}
+
+// TestTuneSurfacesNewRegion drives the loop into the case the one-shot tool
+// cannot see: with the region-hotness floor set between the two phases' miss
+// shares, round 0 of rand.2p targets only the dominant phase. Once that
+// phase's slice prefetches its misses away, the second phase dominates the
+// residual profile, clears the floor, and a later round must grow the
+// portfolio with its region.
+func TestTuneSurfacesNewRegion(t *testing.T) {
+	tn := testTuner()
+	opt := ssp.DefaultOptions()
+	opt.MinRegionMissFrac = 0.5
+	grid := []GridPoint{{Label: "floor=0.5", Options: opt}}
+	res, err := tn.Tune(context.Background(), "rand.2p", sim.InOrder, Params{MaxRounds: 2}, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Candidates[0]
+	if c.Err != "" {
+		t.Fatalf("candidate failed: %s", c.Err)
+	}
+	r0 := c.Rounds[0]
+	if len(r0.Regions) != 1 {
+		t.Fatalf("round 0 covered regions %v, want the dominant phase only", r0.Regions)
+	}
+	if len(r0.NewRegions) != 0 {
+		t.Fatalf("round 0 reported new regions %v; the field means newly surfaced, not initial", r0.NewRegions)
+	}
+	grew := false
+	for _, r := range c.Rounds[1:] {
+		if len(r.NewRegions) == 0 {
+			continue
+		}
+		grew = true
+		if r.Slices < 2 {
+			t.Fatalf("round %d surfaced region %v but emitted %d slices", r.Round, r.NewRegions, r.Slices)
+		}
+		if len(r.Regions) < 2 {
+			t.Fatalf("round %d regions %v inconsistent with new regions %v", r.Round, r.Regions, r.NewRegions)
+		}
+	}
+	if !grew {
+		t.Fatalf("no round surfaced a new region; rounds: %+v", c.Rounds)
 	}
 }
 

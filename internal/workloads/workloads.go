@@ -39,9 +39,17 @@ type Spec struct {
 	// Build constructs the program at the given scale and returns it with
 	// the expected checksum.
 	Build func(scale int) (*ir.Program, uint64)
+	// MinSlices is the number of independent p-slices the adaptation tool is
+	// expected to build for this kernel (0 means 1). The single-hot-region
+	// kernels leave it at zero; the multi-phase variants declare their phase
+	// count so the Table 2 envelope check can catch a portfolio regression.
+	MinSlices int
 }
 
-// All returns the seven benchmark specs in the paper's order.
+// All returns the benchmark specs in the paper's order: the seven
+// single-region kernels of §4.1 first, then the multi-phase variants that
+// restore the several-hot-routines shape of the full benchmarks (Table 2's
+// 2-8 slices per binary), then the scaled random-program families.
 func All() []Spec {
 	return []Spec{
 		Em3d(),
@@ -51,6 +59,11 @@ func All() []Spec {
 		TreeaddBF(),
 		Mcf(),
 		Vpr(),
+		Em3dMulti(),
+		McfMulti(),
+		MstMulti(),
+		Rand2p(),
+		Rand3p(),
 	}
 }
 

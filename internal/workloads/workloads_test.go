@@ -18,18 +18,26 @@ func tinyConfig() sim.Config {
 	return c
 }
 
-func TestAllSevenBenchmarks(t *testing.T) {
+func TestAllBenchmarks(t *testing.T) {
 	specs := All()
-	if len(specs) != 7 {
-		t.Fatalf("got %d benchmarks, want 7", len(specs))
+	if len(specs) != 12 {
+		t.Fatalf("got %d benchmarks, want 12", len(specs))
 	}
 	names := map[string]bool{}
 	for _, s := range specs {
 		names[s.Name] = true
 	}
-	for _, want := range []string{"em3d", "health", "mst", "treeadd.df", "treeadd.bf", "mcf", "vpr"} {
+	for _, want := range []string{
+		"em3d", "health", "mst", "treeadd.df", "treeadd.bf", "mcf", "vpr",
+		"em3d.multi", "mcf.multi", "mst.multi", "rand.2p", "rand.3p",
+	} {
 		if !names[want] {
 			t.Errorf("missing benchmark %q", want)
+		}
+	}
+	for _, s := range specs {
+		if s.MinSlices > 1 && s.Name[len(s.Name)-6:] != ".multi" && s.Name[:5] != "rand." {
+			t.Errorf("%s: MinSlices %d on a single-region kernel", s.Name, s.MinSlices)
 		}
 	}
 }
