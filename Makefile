@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet test race alloc-gate bench bench-diff bench-smoke sspcheck predecode-sweep fastforward-sweep hotpath-sweep fuzz-smoke cover serve-smoke serve-load tune-smoke tune-bench table2 table2-check
+.PHONY: check fmt vet test race alloc-gate bench bench-diff bench-smoke sspcheck predecode-sweep fastforward-sweep hotpath-sweep safety-sweep fuzz-smoke cover serve-smoke serve-load tune-smoke tune-bench table2 table2-check
 
 # check is the full gate: formatting, vet, the test suite under the race
 # detector (the concurrent experiment engine is exercised by internal/exp's
@@ -8,8 +8,10 @@ GO ?= go
 # run skips it — instrumentation allocates), the differential/metamorphic
 # fuzz sweep over 32 fixed seeds (internal/check), the 500-seed fast-forward
 # equivalence sweep, the 200-seed hot-path/machine-reuse equivalence sweep,
-# and a short native-fuzzing smoke of the parser and the adaptation tool.
-check: fmt vet race alloc-gate sspcheck fastforward-sweep hotpath-sweep fuzz-smoke
+# the 32-seed speculation-safety sweep (static budget certificates, dynamic
+# budget oracle, adversarial mutants), and a short native-fuzzing smoke of
+# the parser and the adaptation tool.
+check: fmt vet race alloc-gate sspcheck fastforward-sweep hotpath-sweep safety-sweep fuzz-smoke
 
 # sspcheck runs 32 seeded random programs through all three validation
 # layers; reproduce a reported failure with: go run ./cmd/sspcheck -seed N
@@ -35,6 +37,14 @@ fastforward-sweep:
 # and SSP-adapted program of every seed.
 hotpath-sweep:
 	$(GO) run ./cmd/sspcheck -seeds 200 -hotpath
+
+# safety-sweep is the regression gate for the speculation-safety verifier:
+# per seed, every adapted slice must carry a violation-free static budget
+# certificate, a dynamic run on both engines under the budget oracle must
+# stay inside it, and every injected violation class must be rejected with
+# exactly that class.
+safety-sweep:
+	$(GO) run ./cmd/sspcheck -seeds 32 -safety
 
 # alloc-gate runs the allocation-regression tests without the race detector
 # (whose instrumentation allocates): the per-access hot path must stay at

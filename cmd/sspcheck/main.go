@@ -13,6 +13,7 @@
 //	sspcheck -seeds 16 -predecode    # predecode-equivalence sweep instead
 //	sspcheck -seeds 500 -fastforward # fast-forward-equivalence sweep instead
 //	sspcheck -seeds 200 -hotpath     # hot-path/machine-reuse sweep instead
+//	sspcheck -seeds 32 -safety       # speculation-safety sweep instead
 //
 // A violation prints its seed and exits non-zero; rerunning with -seed N
 // reproduces it exactly.
@@ -36,6 +37,7 @@ type options struct {
 	predecode    bool
 	fastforward  bool
 	hotpath      bool
+	safety       bool
 	verbose      bool
 }
 
@@ -56,6 +58,9 @@ func sweep(o options, out, errw io.Writer) (total int64, failures int) {
 	case o.hotpath:
 		checkSeed = check.HotPathSeed
 		layers = "the hot-path-equivalence layer"
+	case o.safety:
+		checkSeed = check.SafetySeed
+		layers = "the speculation-safety layer"
 	}
 
 	lo, hi := o.start, o.start+o.seeds
@@ -88,6 +93,7 @@ func main() {
 	flag.BoolVar(&o.predecode, "predecode", false, "run the predecode-equivalence layer per seed instead of the differential/metamorphic layers")
 	flag.BoolVar(&o.fastforward, "fastforward", false, "run the fast-forward-equivalence layer per seed instead of the differential/metamorphic layers")
 	flag.BoolVar(&o.hotpath, "hotpath", false, "run the hot-path-equivalence layer (machine reuse vs fresh machines) per seed instead of the differential/metamorphic layers")
+	flag.BoolVar(&o.safety, "safety", false, "run the speculation-safety layer (static budget certificates, dynamic budget oracle, adversarial mutants) per seed instead of the differential/metamorphic layers")
 	flag.BoolVar(&o.verbose, "v", false, "print each seed as it passes")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProf := flag.String("memprofile", "", "write an allocation profile of the sweep to this file")

@@ -19,6 +19,7 @@ func TestSweepModes(t *testing.T) {
 		{"default", options{seeds: 4, seed: -1}, "all three layers"},
 		{"predecode", options{seeds: 4, seed: -1, predecode: true}, "predecode-equivalence"},
 		{"fastforward", options{seeds: 4, seed: -1, fastforward: true}, "fast-forward-equivalence"},
+		{"safety", options{seeds: 4, seed: -1, safety: true}, "speculation-safety"},
 		{"single-seed", options{seed: 17, verbose: true}, "seed 17: ok"},
 	}
 	for _, m := range modes {

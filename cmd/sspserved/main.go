@@ -17,6 +17,13 @@
 //	GET  /healthz  liveness (503 while draining)
 //	GET  /statz    counters: requests, hit/miss, capacity, machine pool
 //
+// Source jobs are vetted by the speculation-safety verifier before
+// admission: if the submitted IR carries slice regions that cannot be proved
+// bounded and state-isolated at the target machine's MaxSpecInstrs ceiling,
+// the job is rejected with HTTP 422 and a JSON body holding the
+// machine-readable safety report ({"error": ..., "safety": ...}); rejected
+// programs are never cached, so a corrected resubmission is verified fresh.
+//
 // On SIGTERM or SIGINT the server drains: it stops admitting jobs, finishes
 // the in-flight ones, then exits.
 package main

@@ -149,6 +149,7 @@ type Server struct {
 	misses   atomic.Int64 // ran the pipeline
 	failures atomic.Int64 // jobs that ended in an error
 	rejected atomic.Int64 // 429s + 503s (capacity and drain)
+	unsafe   atomic.Int64 // 422s (source IR failed the safety verifier)
 }
 
 // New returns a ready-to-serve Server.
@@ -207,6 +208,7 @@ type Stats struct {
 	Misses    int64         `json:"misses"`
 	Failures  int64         `json:"failures"`
 	Rejected  int64         `json:"rejected"`
+	Unsafe    int64         `json:"unsafe"`
 	InFlight  int64         `json:"in_flight"`
 	Draining  bool          `json:"draining"`
 	Cells     int           `json:"cells"`
@@ -226,6 +228,7 @@ func (s *Server) Snapshot() Stats {
 		Misses:    s.misses.Load(),
 		Failures:  s.failures.Load(),
 		Rejected:  s.rejected.Load(),
+		Unsafe:    s.unsafe.Load(),
 		InFlight:  s.inflight.Load(),
 		Draining:  s.draining.Load(),
 		Cells:     cells,
@@ -272,6 +275,23 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		}
 		if wantsSSE(r) {
 			http.Error(w, "bad job: tune jobs do not support streaming", http.StatusBadRequest)
+			return
+		}
+	}
+
+	// Safety gate: user-submitted IR may carry hand-written slice regions,
+	// and the machines will happily spawn whatever is attached. Any slice
+	// in a source job must pass the speculation-safety verifier at the
+	// ceiling of the machine the job would run on; violations are 422
+	// with the machine-readable report, before the job can reach a cache
+	// cell or a worker (unsafe programs are never cached, so a later
+	// fixed submission is a fresh key and a fresh verification).
+	if j.Source != "" {
+		if rep, err := s.vetSource(j); err != nil {
+			s.unsafe.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			json.NewEncoder(w).Encode(UnsafeResponse{Error: err.Error(), Safety: rep})
 			return
 		}
 	}
@@ -563,6 +583,28 @@ func (s *Server) compute(ctx context.Context, j job, cycles *atomic.Int64) (res 
 		return nil, err
 	}
 	return toJobResult(r, b.slices), nil
+}
+
+// UnsafeResponse is the HTTP 422 payload for source jobs whose IR fails the
+// speculation-safety verifier: the first violation as a message plus the
+// full machine-readable report (per-slice certificates and every violation).
+type UnsafeResponse struct {
+	Error  string            `json:"error"`
+	Safety *ssp.SafetyReport `json:"safety"`
+}
+
+// vetSource statically verifies user-submitted IR before admission: any
+// slice regions it carries must be provably bounded and state-isolated at
+// the MaxSpecInstrs ceiling of the machine the job would run on. Programs
+// without slices pass trivially. The report is returned either way so the
+// 422 path can hand it to the client.
+func (s *Server) vetSource(j job) (*ssp.SafetyReport, error) {
+	p, err := ir.Parse(j.Source) // normalize already proved it parses
+	if err != nil {
+		return nil, err
+	}
+	rep := ssp.AnalyzeSafety(p, machineConfig(j.Model, j.Test).MaxSpecInstrs)
+	return rep, rep.Err()
 }
 
 // statusOf maps a job error to its HTTP status.

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ssp/internal/exp"
+	"ssp/internal/handtuned"
 	"ssp/internal/ir"
 	"ssp/internal/sim"
 	"ssp/internal/ssp"
@@ -115,6 +116,59 @@ func TestSourceJob(t *testing.T) {
 	}
 	if *src.Result != *bench.Result {
 		t.Errorf("source job diverged from the identical bench job:\n got %+v\nwant %+v", src.Result, bench.Result)
+	}
+}
+
+// TestUnsafeSourceRejected: user-submitted IR whose slice regions fail the
+// speculation-safety verifier is a 422 with the machine-readable report —
+// every time, because rejected programs never enter a cache cell. Safe
+// slice-bearing IR (a hand adaptation) still passes the gate.
+func TestUnsafeSourceRejected(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	spec := workloads.Mcf()
+	orig, _ := spec.Build(spec.TestScale)
+	safe, err := handtuned.Adapt("mcf", orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsafeP, ok := ssp.InjectUnsafe(safe, ssp.SafetyStore)
+	if !ok {
+		t.Fatal("hand-adapted mcf has no slice to corrupt")
+	}
+	job := JobSpec{Source: ir.Format(unsafeP), Model: "in-order"}
+	for round := 0; round < 2; round++ {
+		code, _, msg := post(t, ts, job)
+		if code != http.StatusUnprocessableEntity {
+			t.Fatalf("round %d: HTTP %d (%s), want 422", round, code, msg)
+		}
+		var ur UnsafeResponse
+		if err := json.Unmarshal([]byte(msg), &ur); err != nil {
+			t.Fatalf("round %d: 422 body is not an UnsafeResponse: %v\n%s", round, err, msg)
+		}
+		if ur.Safety == nil || len(ur.Safety.Violations) == 0 {
+			t.Fatalf("round %d: 422 response carries no safety report: %s", round, msg)
+		}
+		if got := ur.Safety.Violations[0].Class; got != ssp.SafetyStore {
+			t.Errorf("round %d: violation class %q, want %q", round, got, ssp.SafetyStore)
+		}
+		if !strings.Contains(ur.Error, string(ssp.SafetyStore)) {
+			t.Errorf("round %d: error %q does not name the class", round, ur.Error)
+		}
+	}
+	st := s.Snapshot()
+	if st.Unsafe != 2 {
+		t.Errorf("unsafe counter = %d, want 2 (both submissions verified, neither cached)", st.Unsafe)
+	}
+	if st.Cells != 0 || st.Requests != 0 {
+		t.Errorf("unsafe job leaked into the pipeline: cells=%d requests=%d, want 0/0", st.Cells, st.Requests)
+	}
+	// The fixed (safe) program passes the same gate and simulates.
+	code, jr, msg := post(t, ts, JobSpec{Source: ir.Format(safe), Model: "in-order"})
+	if code != http.StatusOK {
+		t.Fatalf("safe hand-adapted source: HTTP %d: %s", code, msg)
+	}
+	if jr.Result.Spawns == 0 {
+		t.Errorf("hand-adapted source ran but spawned no speculative threads")
 	}
 }
 

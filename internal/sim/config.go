@@ -81,8 +81,11 @@ type Config struct {
 	// RetireWidth bounds in-order retirement per thread per cycle.
 	RetireWidth int
 
-	// MaxSpecInstrs kills a runaway speculative thread after this many
-	// dynamic instructions.
+	// MaxSpecInstrs kills a runaway speculative thread once its activation
+	// has executed this many dynamic instructions — an activation never
+	// executes more. It is the hardware ceiling the speculation-safety
+	// verifier certifies slice budgets against (ssp.DefaultSafetyCeiling
+	// mirrors the default).
 	MaxSpecInstrs int64
 	// MaxCycles is a global watchdog; the run aborts with Result.TimedOut
 	// when exceeded.

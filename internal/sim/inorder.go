@@ -200,7 +200,10 @@ func (m *Machine) issueInOrder(t *Thread, intU, memU, brU, fpU *int) (issued, co
 	t.instrs++
 	if t.spec {
 		m.res.SpecInstrs++
-		if t.instrs > m.Cfg.MaxSpecInstrs {
+		// >= so an activation executes at most MaxSpecInstrs instructions:
+		// the ceiling is exactly the budget the safety verifier certifies
+		// against (ssp.AnalyzeSafety), never that plus one.
+		if t.instrs >= m.Cfg.MaxSpecInstrs {
 			ef.kill = true
 		}
 	} else {

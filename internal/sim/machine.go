@@ -62,6 +62,12 @@ type Thread struct {
 // Context returns the hardware context index of the thread.
 func (t *Thread) Context() int { return t.idx }
 
+// Instrs returns how many instructions the thread has executed in its
+// current activation (reset on every spawn). External oracles — the
+// safety-budget hook in internal/check — read it from an ExecHooks callback,
+// which fires before the count includes the instruction being executed.
+func (t *Thread) Instrs() int64 { return t.instrs }
+
 // Speculative reports whether the thread runs a p-slice rather than the main
 // program.
 func (t *Thread) Speculative() bool { return t.spec }

@@ -312,7 +312,9 @@ func (m *Machine) dispatchOOO(t *Thread, slots int) int {
 		t.instrs++
 		if t.spec {
 			m.res.SpecInstrs++
-			if t.instrs > m.Cfg.MaxSpecInstrs {
+			// >= for the same reason as the in-order engine: the activation
+			// never exceeds the certified MaxSpecInstrs budget.
+			if t.instrs >= m.Cfg.MaxSpecInstrs {
 				ef.kill = true
 			}
 		} else {

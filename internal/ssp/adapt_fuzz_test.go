@@ -30,6 +30,12 @@ func FuzzAdaptRandomProgram(f *testing.F) {
 		f.Add(seed, uint8(0))
 		f.Add(seed, uint8(0xff))
 	}
+	// Safety-verifier seeds: option mixes that exercise every slice shape
+	// the budget analysis decomposes — latch-guarded basic loops (chaining
+	// and prediction off), predicted countdown chains, and unrolled chains.
+	f.Add(int64(4), uint8(0b00100))
+	f.Add(int64(9), uint8(0b100101))
+	f.Add(int64(23), uint8(0b11100111))
 	f.Fuzz(func(t *testing.T, seed int64, optBits uint8) {
 		p := workloads.RandomProgram(seed)
 		prof, err := profile.Collect(p, tinyConfig())
@@ -54,6 +60,23 @@ func FuzzAdaptRandomProgram(f *testing.F) {
 		}
 		if err := VerifyAttachments(adapted); err != nil {
 			t.Fatalf("seed %d optBits %#x: adapted binary fails VerifyAttachments: %v", seed, optBits, err)
+		}
+		// The safety verifier must certify every tool output: a budget at
+		// or under the ceiling and zero violations. Its negative corpus is
+		// exercised too — every mutant of the adapted binary must be
+		// rejected with the injected class (skipped when the adaptation
+		// emitted no slices; there is nothing to corrupt).
+		srep, err := VerifySafety(adapted, DefaultSafetyCeiling)
+		if err != nil {
+			t.Fatalf("seed %d optBits %#x: adapted binary fails VerifySafety: %v", seed, optBits, err)
+		}
+		if srep.MaxBudget() > DefaultSafetyCeiling {
+			t.Fatalf("seed %d optBits %#x: certified budget %d exceeds ceiling", seed, optBits, srep.MaxBudget())
+		}
+		if len(srep.Slices) > 0 {
+			if err := CheckUnsafe(adapted, DefaultSafetyCeiling); err != nil {
+				t.Fatalf("seed %d optBits %#x: negative corpus: %v", seed, optBits, err)
+			}
 		}
 	})
 }

@@ -148,6 +148,11 @@ type Report struct {
 	// for every targeted load: each ID in DelinquentLoads appears either
 	// in some slice's Targets or here, never silently vanishing.
 	Skipped []SkippedLoad `json:"skipped,omitempty"`
+	// Safety is the speculation-safety certificate of the adapted binary:
+	// per-slice instruction budgets and the proof obligations discharged
+	// (safety.go). The tool verifies it as part of its self-check, so a
+	// returned report never carries violations.
+	Safety *SafetyReport `json:"safety,omitempty"`
 }
 
 // SkippedLoad records one delinquent load the tool targeted but dropped.

@@ -1,0 +1,858 @@
+package ssp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ssp/internal/ir"
+)
+
+// This file is the speculation-safety verifier: a static analysis over each
+// slice region's CFG that proves the paper's §2 safety argument — a
+// misspeculated p-slice can never alter main-thread architectural state and
+// can never run unboundedly — instead of spot-checking it. Per slice it
+// discharges three obligation families:
+//
+//   - termination: every reachable path from the slice root reaches a kill,
+//     and every loop backedge is bounded — either statically by the
+//     countdown/chaining structure (§3.2.1.1 stages a trip-count bound
+//     through the live-in buffer) or dynamically by a latch predicate that
+//     is recomputed from loop-varying data each iteration, in which case the
+//     hardware ceiling (sim.Config.MaxSpecInstrs) is the proven bound;
+//   - isolation: no reachable instruction in the region can write memory,
+//     transfer control outside the region, raise a chk.c, or spawn beyond
+//     the chain bound. Reachability is path-sensitive over predicated
+//     branches and kills: an instruction shadowed by an unconditional kill
+//     discharges its obligation vacuously, while one reachable on any arm
+//     must satisfy it — the weakest precondition of "region stays isolated"
+//     along every arm;
+//   - budget: a per-activation instruction bound (the certificate) computed
+//     as the longest acyclic path plus each bounded loop's iteration bound
+//     times its body, checked against the ceiling. Both cycle engines kill a
+//     speculative thread at exactly MaxSpecInstrs executed instructions, so
+//     a certificate at or under the ceiling is an unconditional guarantee.
+//
+// The analysis is deliberately structural, not symbolic: it recognizes the
+// exact shapes the code generator and the paper's hand adaptations emit
+// (countdown staging through the live-in buffer, latch-guarded chains) and
+// rejects everything it cannot bound, so it is conservative on adversarial
+// input and exact on tool output.
+
+// DefaultSafetyCeiling is the per-activation instruction ceiling the
+// verifier assumes when the caller has no machine configuration at hand. It
+// mirrors sim.DefaultInOrder/DefaultOOO's MaxSpecInstrs (a check-package
+// test pins the agreement).
+const DefaultSafetyCeiling = 1 << 20
+
+// SafetyClass names one family of speculation-safety violations. The
+// negative-test harness (InjectUnsafe) can manufacture a program violating
+// each class, and every class carries a distinct rejection reason.
+type SafetyClass string
+
+const (
+	// SafetyStore: a reachable instruction in a slice region writes memory.
+	SafetyStore SafetyClass = "store"
+	// SafetyEscape: a reachable instruction transfers control outside the
+	// slice region (branch to foreign label, call, return, halt, chk.c, or
+	// a spawn whose target is not a slice).
+	SafetyEscape SafetyClass = "escape"
+	// SafetyNoKill: some reachable path leaves the slice region without
+	// executing kill (e.g. a kill present on only one branch arm).
+	SafetyNoKill SafetyClass = "no-kill"
+	// SafetyUnboundedLoop: a backedge whose guard is unconditional or never
+	// recomputed inside the loop — once taken, taken forever.
+	SafetyUnboundedLoop SafetyClass = "unbounded-backedge"
+	// SafetyUnboundedChain: a chained spawn that is unguarded or whose
+	// guard cannot change from link to link — the chain respawns forever.
+	SafetyUnboundedChain SafetyClass = "unbounded-chain"
+	// SafetyLiveInRange: a reachable liw/lir slot immediate outside the
+	// live-in buffer; the hardware wraps it, silently aliasing two live-ins.
+	SafetyLiveInRange SafetyClass = "live-in-range"
+	// SafetyOverBudget: the statically-certified instruction budget exceeds
+	// the hardware ceiling, so the slice would be truncated mid-flight.
+	SafetyOverBudget SafetyClass = "over-budget"
+)
+
+// SafetyViolation is one discharged-in-the-negative proof obligation: which
+// slice, which class, and the instruction-level detail.
+type SafetyViolation struct {
+	Slice  string      `json:"slice"`
+	Class  SafetyClass `json:"class"`
+	Detail string      `json:"detail"`
+}
+
+func (v SafetyViolation) String() string {
+	return fmt.Sprintf("%s: %s: %s", v.Slice, v.Class, v.Detail)
+}
+
+// SliceSafety is one slice's certificate: the per-activation instruction
+// budget, the proof dimensions, and the obligations discharged.
+type SliceSafety struct {
+	// Slice is the root block key ("func.label").
+	Slice string `json:"slice"`
+	// Blocks lists the region's block keys ("func.label"), root first —
+	// the dynamic oracle attributes speculative PCs to budgets through it.
+	Blocks []string `json:"blocks"`
+	// Budget is the certified per-activation instruction bound.
+	Budget int64 `json:"budget"`
+	// Static is true when Budget derives purely from the countdown/chaining
+	// structure; false when a data-bounded loop makes the hardware ceiling
+	// the proven bound.
+	Static bool `json:"static"`
+	// Paths counts the acyclic root-to-exit paths the proof covered.
+	Paths int64 `json:"paths"`
+	// Backedges counts the region's loop backedges.
+	Backedges int `json:"backedges"`
+	// ChainBound is the certified chain depth: 0 when the slice never
+	// respawns, -1 when the chain is data-guarded (depth decided by the
+	// precomputed values), else the static countdown bound.
+	ChainBound int64 `json:"chain_bound"`
+	// Obligations lists the discharged proof obligations, human-readable.
+	Obligations []string `json:"obligations"`
+}
+
+// SafetyReport is the machine-readable outcome of AnalyzeSafety: one
+// certificate per slice plus every violation found. It rides ssp.Report
+// (the tool self-certifies each adaptation), cmd/sspcheck -safety, and the
+// serving layer's 422 response for unsafe submitted IR.
+type SafetyReport struct {
+	// Ceiling is the per-activation instruction ceiling the certificates
+	// were checked against (sim.Config.MaxSpecInstrs).
+	Ceiling int64 `json:"ceiling"`
+	// Slices holds one certificate per analyzed slice.
+	Slices []SliceSafety `json:"slices"`
+	// Violations lists every failed obligation; empty means the program is
+	// proven speculation-safe.
+	Violations []SafetyViolation `json:"violations,omitempty"`
+}
+
+// Err folds the report's violations into a single error, nil when the
+// program is proven safe.
+func (r *SafetyReport) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	v := r.Violations[0]
+	if len(r.Violations) == 1 {
+		return fmt.Errorf("ssp: unsafe slice %s", v)
+	}
+	return fmt.Errorf("ssp: unsafe slice %s (and %d more violations)", v, len(r.Violations)-1)
+}
+
+// MaxBudget returns the largest per-slice budget certified, 0 when the
+// program has no slices.
+func (r *SafetyReport) MaxBudget() int64 {
+	var m int64
+	for _, s := range r.Slices {
+		if s.Budget > m {
+			m = s.Budget
+		}
+	}
+	return m
+}
+
+// Budgets returns the block-key -> budget map the dynamic oracle consumes:
+// every block of a slice region maps to that slice's certified budget.
+func (r *SafetyReport) Budgets() map[string]int64 {
+	out := make(map[string]int64)
+	for _, s := range r.Slices {
+		for _, b := range s.Blocks {
+			out[b] = s.Budget
+		}
+	}
+	return out
+}
+
+// AnalyzeSafety runs the speculation-safety analysis over every slice region
+// in the program (tool-generated ssp_slice_* roots and hand-adapted
+// hand_slice blocks) against the given per-activation instruction ceiling,
+// returning every certificate and every violation. A program without slices
+// yields an empty, violation-free report.
+func AnalyzeSafety(p *ir.Program, ceiling int64) *SafetyReport {
+	rep := &SafetyReport{Ceiling: ceiling}
+	for _, f := range p.Funcs {
+		var roots []string
+		for _, b := range f.Blocks {
+			if rest, ok := strings.CutPrefix(b.Label, "ssp_slice_"); ok && !strings.Contains(rest, "_") {
+				roots = append(roots, b.Label)
+			}
+			if b.Label == "hand_slice" {
+				roots = append(roots, b.Label)
+			}
+		}
+		for _, root := range roots {
+			cert, viols := analyzeSlice(f, root, ceiling)
+			rep.Slices = append(rep.Slices, cert)
+			rep.Violations = append(rep.Violations, viols...)
+		}
+	}
+	return rep
+}
+
+// VerifySafety is AnalyzeSafety folded to a verdict: the report plus its
+// Err(). The tool's self-check and the serving layer's admission gate both
+// go through it.
+func VerifySafety(p *ir.Program, ceiling int64) (*SafetyReport, error) {
+	rep := AnalyzeSafety(p, ceiling)
+	return rep, rep.Err()
+}
+
+// node is one instruction-level CFG position: region-block index and
+// instruction index within it (idx == len(Instrs) is the fallthrough
+// position past the block's end).
+type node struct{ b, i int }
+
+// blockEdge is one reachable block-level control transfer inside a region.
+type blockEdge struct {
+	from, to int
+	back     bool
+	// guard is the branch creating the edge; nil for fallthrough edges.
+	guard *ir.Instr
+}
+
+// chainSpawn is one reachable in-region spawn (a chain handoff).
+type chainSpawn struct {
+	bi int
+	in *ir.Instr
+}
+
+// analyzeSlice proves (or refutes) one slice region's safety and computes
+// its budget certificate.
+func analyzeSlice(f *ir.Func, root string, ceiling int64) (SliceSafety, []SafetyViolation) {
+	key := f.Name + "." + root
+	blocks := sliceRegionBlocks(f, root)
+	cert := SliceSafety{Slice: key, ChainBound: 0}
+	var viols []SafetyViolation
+	bad := func(class SafetyClass, format string, args ...any) {
+		viols = append(viols, SafetyViolation{Slice: key, Class: class, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// Region indexing: block label -> region index, and each region block's
+	// layout successor (for fallthrough).
+	idx := map[string]int{}
+	for i, b := range blocks {
+		idx[b.Label] = i
+		cert.Blocks = append(cert.Blocks, f.Name+"."+b.Label)
+	}
+	layoutNext := make([]*ir.Block, len(blocks)) // nil: falls off the function
+	for i, b := range blocks {
+		for bi, fb := range f.Blocks {
+			if fb == b && bi+1 < len(f.Blocks) {
+				layoutNext[i] = f.Blocks[bi+1]
+			}
+		}
+	}
+
+	// Path-sensitive reachability walk over instruction positions. A
+	// predicated instruction always has a nullified fall-through arm; kill
+	// and branch end the taken arm. Every reachable isolation obligation is
+	// checked here, and the reachable block-level edges feed the loop and
+	// budget analyses below.
+	seen := map[node]bool{}
+	var edges []blockEdge
+	var spawns []chainSpawn
+	fellOff := map[int]bool{} // region blocks with a reachable non-kill exit
+	work := []node{{idx[root], 0}}
+	push := func(n node) {
+		if !seen[n] {
+			seen[n] = true
+			work = append(work, n)
+		}
+	}
+	seen[work[0]] = true
+	edgeSeen := map[[2]int]map[*ir.Instr]bool{}
+	addEdge := func(from, to int, guard *ir.Instr) {
+		k := [2]int{from, to}
+		if edgeSeen[k] == nil {
+			edgeSeen[k] = map[*ir.Instr]bool{}
+		}
+		if !edgeSeen[k][guard] {
+			edgeSeen[k][guard] = true
+			edges = append(edges, blockEdge{from: from, to: to, guard: guard})
+		}
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		b := blocks[n.b]
+		if n.i >= len(b.Instrs) {
+			// Past the block's end: fall through in layout order.
+			next := layoutNext[n.b]
+			if next == nil {
+				if !fellOff[n.b] {
+					fellOff[n.b] = true
+					bad(SafetyNoKill, "path through %s falls off the function without kill", b.Label)
+				}
+				continue
+			}
+			if ni, ok := idx[next.Label]; ok {
+				addEdge(n.b, ni, nil)
+				push(node{ni, 0})
+				continue
+			}
+			if !fellOff[n.b] {
+				fellOff[n.b] = true
+				bad(SafetyNoKill, "path through %s falls out of the slice region into %s without kill", b.Label, next.Label)
+			}
+			continue
+		}
+		in := b.Instrs[n.i]
+		predicated := in.Qp != ir.PTrue
+		switch in.Op {
+		case ir.OpSt, ir.OpFSt:
+			bad(SafetyStore, "%s: reachable store %v", b.Label, in)
+			push(node{n.b, n.i + 1})
+		case ir.OpCall, ir.OpCallB, ir.OpRet, ir.OpHalt, ir.OpChk:
+			bad(SafetyEscape, "%s: reachable %v leaves the slice region", b.Label, in)
+			if predicated {
+				push(node{n.b, n.i + 1})
+			}
+		case ir.OpKill:
+			// Taken arm terminates the activation: obligation met. The
+			// nullified arm continues.
+			if predicated {
+				push(node{n.b, n.i + 1})
+			}
+		case ir.OpBr:
+			if ti, ok := idx[in.Target]; ok {
+				addEdge(n.b, ti, in)
+				push(node{ti, 0})
+			} else {
+				bad(SafetyEscape, "%s: reachable branch to %q leaves the slice region", b.Label, in.Target)
+			}
+			if predicated {
+				push(node{n.b, n.i + 1})
+			}
+		case ir.OpSpawn:
+			if rest, ok := strings.CutPrefix(in.Target, "ssp_slice_"); (ok && !strings.Contains(rest, "_")) || in.Target == "hand_slice" {
+				spawns = append(spawns, chainSpawn{bi: n.b, in: in})
+			} else {
+				bad(SafetyEscape, "%s: reachable spawn targets %q, which is not a slice root", b.Label, in.Target)
+			}
+			push(node{n.b, n.i + 1})
+		case ir.OpLiw, ir.OpLir:
+			if in.Imm < 0 || in.Imm >= ir.LIBSlots {
+				bad(SafetyLiveInRange, "%s: reachable %v slot %d outside live-in buffer [0,%d)", b.Label, in.Op, in.Imm, ir.LIBSlots)
+			}
+			push(node{n.b, n.i + 1})
+		default:
+			push(node{n.b, n.i + 1})
+		}
+	}
+
+	// Reachable instruction count per block (the budget weights) and the
+	// reachable instruction list (the loop analyses below scan it).
+	weight := make([]int64, len(blocks))
+	var reachInstrs int64
+	reachable := func(bi, i int) bool { return seen[node{bi, i}] }
+	for bi, b := range blocks {
+		for i := range b.Instrs {
+			if reachable(bi, i) {
+				weight[bi]++
+				reachInstrs++
+			}
+		}
+	}
+
+	// Loop structure: DFS back edges over the reachable block graph, then
+	// dominators to separate structured (natural) loops from irreducible
+	// tangles the budget cannot decompose.
+	succs := make([][]int, len(blocks))
+	for _, e := range edges {
+		succs[e.from] = append(succs[e.from], e.to)
+	}
+	back := findBackEdges(len(blocks), succs, idx[root])
+	for i := range edges {
+		if back[[2]int{edges[i].from, edges[i].to}] {
+			edges[i].back = true
+		}
+	}
+	dom := dominators(len(blocks), succs, idx[root])
+
+	// Classify every backedge: unconditional or stuck guards are
+	// violations; countdown guards yield a static iteration bound; latch
+	// guards recomputed from loop-varying data are ceiling-bounded.
+	type loop struct {
+		head, tail int
+		body       []int
+		bound      int64 // 0: dynamic (ceiling-bounded)
+	}
+	var loops []loop
+	dynamic := false
+	for _, e := range edges {
+		if !e.back {
+			continue
+		}
+		cert.Backedges++
+		head, tail := e.to, e.from
+		body := loopBody(len(blocks), edges, head, tail)
+		if e.guard == nil || e.guard.Qp == ir.PTrue {
+			bad(SafetyUnboundedLoop, "unconditional backedge %s -> %s", blocks[tail].Label, blocks[head].Label)
+			continue
+		}
+		q := e.guard.Qp
+		def := guardDef(blocks, body, reachable, q)
+		if def == nil {
+			bad(SafetyUnboundedLoop, "backedge %s -> %s: guard p%d is never recomputed inside the loop — once true it stays true", blocks[tail].Label, blocks[head].Label, q)
+			continue
+		}
+		if !loopVarying(blocks, body, reachable, def) {
+			bad(SafetyUnboundedLoop, "backedge %s -> %s: guard p%d compares loop-invariant values", blocks[tail].Label, blocks[head].Label, q)
+			continue
+		}
+		if !dom[tail][head] {
+			// Irreducible: sound fallback is the hardware ceiling.
+			dynamic = true
+			cert.Obligations = append(cert.Obligations, fmt.Sprintf("termination: irreducible backedge %s -> %s bounded by the hardware ceiling (%d)", blocks[tail].Label, blocks[head].Label, ceiling))
+			loops = append(loops, loop{head: head, tail: tail, body: body, bound: 0})
+			continue
+		}
+		if b, d := countdownBound(f, blocks, body, reachable, root, def); b > 0 {
+			loops = append(loops, loop{head: head, tail: tail, body: body, bound: b})
+			cert.Obligations = append(cert.Obligations, fmt.Sprintf("termination: backedge %s -> %s bounded by countdown (%d iterations, step %d)", blocks[tail].Label, blocks[head].Label, b, d))
+		} else {
+			dynamic = true
+			loops = append(loops, loop{head: head, tail: tail, body: body, bound: 0})
+			cert.Obligations = append(cert.Obligations, fmt.Sprintf("termination: backedge %s -> %s latch-guarded (p%d recomputed per iteration); hardware ceiling %d applies", blocks[tail].Label, blocks[head].Label, q, ceiling))
+		}
+	}
+
+	// Classify every chain handoff (reachable in-region spawn).
+	for _, cs := range spawns {
+		in := cs.in
+		if in.Qp == ir.PTrue {
+			bad(SafetyUnboundedChain, "%s: unguarded chained spawn of %q respawns forever", blocks[cs.bi].Label, in.Target)
+			continue
+		}
+		all := allRegionIndexes(blocks)
+		def := guardDef(blocks, all, reachable, in.Qp)
+		if def == nil {
+			bad(SafetyUnboundedChain, "%s: chained spawn guard p%d is never computed in the slice — chain depth unbounded", blocks[cs.bi].Label, in.Qp)
+			continue
+		}
+		if b, _ := countdownBound(f, blocks, all, reachable, root, def); b > 0 {
+			if b > cert.ChainBound {
+				cert.ChainBound = b
+			}
+			cert.Obligations = append(cert.Obligations, fmt.Sprintf("chain: spawn in %s countdown-guarded, depth <= %d", blocks[cs.bi].Label, b))
+			continue
+		}
+		if !regionVarying(blocks, all, reachable, def) {
+			bad(SafetyUnboundedChain, "%s: chained spawn guard p%d depends only on unmodified live-ins — every link is identical", blocks[cs.bi].Label, in.Qp)
+			continue
+		}
+		cert.ChainBound = -1
+		cert.Obligations = append(cert.Obligations, fmt.Sprintf("chain: spawn in %s data-guarded (p%d recomputed per link from advanced values)", blocks[cs.bi].Label, in.Qp))
+	}
+
+	// Budget certificate: collapse bounded loops innermost-first into their
+	// headers, then take the longest acyclic path. Any ceiling-bounded loop
+	// collapses the whole certificate to the ceiling — still a sound bound,
+	// because both engines kill a speculative thread at exactly the ceiling.
+	sort.SliceStable(loops, func(i, j int) bool { return len(loops[i].body) < len(loops[j].body) })
+	ew := append([]int64(nil), weight...)
+	for _, l := range loops {
+		if l.bound == 0 {
+			continue
+		}
+		var body int64
+		for _, bi := range l.body {
+			body = satAdd(body, ew[bi], ceiling)
+		}
+		ew[l.head] = satAdd(ew[l.head], satMul(l.bound, body, ceiling), ceiling)
+	}
+	if dynamic {
+		cert.Budget = ceiling
+		cert.Static = false
+	} else {
+		cert.Budget = longestPath(len(blocks), edges, ew, idx[root], ceiling)
+		cert.Static = true
+		if cert.Budget > ceiling {
+			bad(SafetyOverBudget, "certified budget %d exceeds the hardware ceiling %d", cert.Budget, ceiling)
+		}
+	}
+	cert.Paths = countPaths(len(blocks), edges, idx[root])
+
+	if len(viols) == 0 {
+		cert.Obligations = append(cert.Obligations,
+			fmt.Sprintf("isolation: %d reachable instructions free of stores, calls, and region escapes", reachInstrs),
+			fmt.Sprintf("termination: all %d acyclic paths from %s reach kill", cert.Paths, root),
+			fmt.Sprintf("budget: %d <= ceiling %d", cert.Budget, ceiling))
+	}
+	return cert, viols
+}
+
+// findBackEdges classifies the graph's edges by iterative DFS from root and
+// returns the set of back edges (target on the active DFS stack). Removing
+// them leaves the graph acyclic.
+func findBackEdges(n int, succs [][]int, root int) map[[2]int]bool {
+	back := map[[2]int]bool{}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, n)
+	type frame struct{ b, next int }
+	stack := []frame{{root, 0}}
+	color[root] = gray
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(succs[f.b]) {
+			s := succs[f.b][f.next]
+			f.next++
+			switch color[s] {
+			case white:
+				color[s] = gray
+				stack = append(stack, frame{s, 0})
+			case gray:
+				back[[2]int{f.b, s}] = true
+			}
+			continue
+		}
+		color[f.b] = black
+		stack = stack[:len(stack)-1]
+	}
+	return back
+}
+
+// dominators computes the dominator relation over the reachable block graph
+// by the standard iterative dataflow: dom[b] = {b} ∪ ⋂ dom(preds).
+func dominators(n int, succs [][]int, root int) [][]bool {
+	preds := make([][]int, n)
+	for b, ss := range succs {
+		for _, s := range ss {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	dom := make([][]bool, n)
+	for b := range dom {
+		dom[b] = make([]bool, n)
+		if b == root {
+			dom[b][root] = true
+			continue
+		}
+		for i := range dom[b] {
+			dom[b][i] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for b := 0; b < n; b++ {
+			if b == root {
+				continue
+			}
+			next := make([]bool, n)
+			first := true
+			for _, p := range preds[b] {
+				if first {
+					copy(next, dom[p])
+					first = false
+					continue
+				}
+				for i := range next {
+					next[i] = next[i] && dom[p][i]
+				}
+			}
+			if first { // unreachable: keep the all-set
+				continue
+			}
+			next[b] = true
+			for i := range next {
+				if next[i] != dom[b][i] {
+					dom[b] = next
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// loopBody returns the blocks of the loop closed by backedge tail -> head:
+// head plus everything that reaches tail without passing through head
+// (computed on the reversed edge set).
+func loopBody(n int, edges []blockEdge, head, tail int) []int {
+	preds := make([][]int, n)
+	for _, e := range edges {
+		preds[e.to] = append(preds[e.to], e.from)
+	}
+	in := make([]bool, n)
+	in[head] = true
+	in[tail] = true
+	work := []int{tail}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if b == head {
+			continue
+		}
+		for _, p := range preds[b] {
+			if !in[p] {
+				in[p] = true
+				work = append(work, p)
+			}
+		}
+	}
+	var body []int
+	for b, ok := range in {
+		if ok {
+			body = append(body, b)
+		}
+	}
+	return body
+}
+
+// allRegionIndexes returns every region block index (the "body" a chain
+// guard may be computed in: the whole activation).
+func allRegionIndexes(blocks []*ir.Block) []int {
+	out := make([]int, len(blocks))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// guardDef finds a reachable compare inside the given blocks defining
+// predicate q (on either output), preferring the last one found in block
+// order so same-block recomputation wins.
+func guardDef(blocks []*ir.Block, body []int, reachable func(int, int) bool, q ir.PR) *ir.Instr {
+	var def *ir.Instr
+	for _, bi := range body {
+		for i, in := range blocks[bi].Instrs {
+			if !reachable(bi, i) {
+				continue
+			}
+			if in.Op == ir.OpCmp && (in.Pd1 == q || in.Pd2 == q) {
+				def = in
+			}
+		}
+	}
+	return def
+}
+
+// loopVarying reports whether any GR operand of the guard compare is
+// (re)defined by a reachable instruction inside the loop body — the
+// precondition for the guard to ever change value between iterations.
+func loopVarying(blocks []*ir.Block, body []int, reachable func(int, int) bool, def *ir.Instr) bool {
+	return operandDefined(blocks, body, reachable, def, func(in *ir.Instr) bool { return true })
+}
+
+// regionVarying reports whether any GR operand of the guard compare has a
+// non-live-in-restore definition in the region: the chain's guard depends on
+// a value the activation computes (the advanced recurrence), so successive
+// links see different data.
+func regionVarying(blocks []*ir.Block, body []int, reachable func(int, int) bool, def *ir.Instr) bool {
+	return operandDefined(blocks, body, reachable, def, func(in *ir.Instr) bool { return in.Op != ir.OpLir })
+}
+
+func operandDefined(blocks []*ir.Block, body []int, reachable func(int, int) bool, def *ir.Instr, admit func(*ir.Instr) bool) bool {
+	ops := guardOperands(def)
+	var defs []ir.Loc
+	for _, bi := range body {
+		for i, in := range blocks[bi].Instrs {
+			if in == def || !reachable(bi, i) || !admit(in) {
+				continue
+			}
+			defs = in.AppendDefs(defs[:0])
+			for _, l := range defs {
+				if r, ok := l.IsGR(); ok && r != 0 && ops[r] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// guardOperands returns the GR operands of a compare (r0 excluded: it is
+// hardwired zero and cannot vary).
+func guardOperands(def *ir.Instr) map[ir.Reg]bool {
+	ops := map[ir.Reg]bool{}
+	var uses []ir.Loc
+	uses = def.AppendUses(uses)
+	for _, l := range uses {
+		if r, ok := l.IsGR(); ok && r != 0 {
+			ops[r] = true
+		}
+	}
+	return ops
+}
+
+// countdownBound recognizes the §3.2.1.1 countdown structure around a guard
+// compare and returns the static iteration bound (and the decrement step),
+// or (0, 0) when the guard is not a countdown. The structure is: the guard
+// is `cmp.gt q,_ = counter, 0`; the counter is strictly decremented by a
+// constant inside the body; it is initialized from a live-in buffer slot in
+// the region; and every spawner outside this slice's own region stages a
+// compile-time constant into that slot. The bound is the largest constant
+// staged — chained respawns restage the decremented counter, so the stub's
+// constant dominates the chain.
+func countdownBound(f *ir.Func, blocks []*ir.Block, body []int, reachable func(int, int) bool, root string, def *ir.Instr) (int64, int64) {
+	if def.Op != ir.OpCmp || def.Cond != ir.CondGT || !def.UseImm || def.Imm != 0 {
+		return 0, 0
+	}
+	counter := def.Ra
+	if counter == 0 {
+		return 0, 0
+	}
+	// Strict constant decrement of the counter inside the body.
+	var step int64
+	for _, bi := range body {
+		for i, in := range blocks[bi].Instrs {
+			if !reachable(bi, i) {
+				continue
+			}
+			if in.Op == ir.OpAdd && in.UseImm && in.Rd == counter && in.Ra == counter && in.Imm < 0 {
+				step = -in.Imm
+			}
+		}
+	}
+	if step == 0 {
+		return 0, 0
+	}
+	// Counter initialized from a live-in slot somewhere in the region.
+	slot := int64(-1)
+	for _, b := range blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpLir && in.Rd == counter {
+				slot = in.Imm
+			}
+		}
+	}
+	if slot < 0 {
+		return 0, 0
+	}
+	// Every external spawner of this slice stages a constant into the slot;
+	// the largest constant bounds the countdown.
+	var bound int64
+	inRegion := map[string]bool{}
+	for _, b := range blocks {
+		inRegion[b.Label] = true
+	}
+	for _, b := range f.Blocks {
+		if inRegion[b.Label] {
+			continue // chained restage: bounded by the external constant
+		}
+		spawnsRoot := false
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpSpawn && in.Target == root {
+				spawnsRoot = true
+			}
+		}
+		if !spawnsRoot {
+			continue
+		}
+		staged := map[ir.Reg]int64{} // reg -> last constant moved into it
+		hasConst := map[ir.Reg]bool{}
+		found := false
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpMovI:
+				staged[in.Rd] = in.Imm
+				hasConst[in.Rd] = true
+			case ir.OpLiw:
+				if in.Imm == slot && hasConst[in.Ra] {
+					if staged[in.Ra] > bound {
+						bound = staged[in.Ra]
+					}
+					found = true
+				}
+			}
+		}
+		if !found {
+			return 0, 0 // a spawner stages a non-constant: not statically bounded
+		}
+	}
+	if bound <= 0 {
+		return 0, 0
+	}
+	// iterations <= ceil(bound/step) <= bound; report the tight bound.
+	return (bound + step - 1) / step, step
+}
+
+// longestPath computes the longest instruction path from root over the
+// backedge-free block graph using the (loop-collapsed) effective weights.
+func longestPath(n int, edges []blockEdge, ew []int64, root int, ceiling int64) int64 {
+	succs := make([][]int, n)
+	for _, e := range edges {
+		if !e.back {
+			succs[e.from] = append(succs[e.from], e.to)
+		}
+	}
+	memo := make([]int64, n)
+	done := make([]bool, n)
+	var walk func(b int) int64
+	walk = func(b int) int64 {
+		if done[b] {
+			return memo[b]
+		}
+		done[b] = true // backedges removed: no cycles, safe to mark first
+		var best int64
+		for _, s := range succs[b] {
+			if c := walk(s); c > best {
+				best = c
+			}
+		}
+		memo[b] = satAdd(ew[b], best, ceiling)
+		return memo[b]
+	}
+	return walk(root)
+}
+
+// countPaths counts acyclic root-to-exit block paths (saturating), the
+// "proof size" the certificate reports.
+func countPaths(n int, edges []blockEdge, root int) int64 {
+	succs := make([][]int, n)
+	for _, e := range edges {
+		if !e.back {
+			succs[e.from] = append(succs[e.from], e.to)
+		}
+	}
+	const limit = int64(1) << 30
+	memo := make([]int64, n)
+	done := make([]bool, n)
+	var walk func(b int) int64
+	walk = func(b int) int64 {
+		if done[b] {
+			return memo[b]
+		}
+		done[b] = true
+		var total int64
+		for _, s := range succs[b] {
+			total += walk(s)
+			if total > limit {
+				total = limit
+			}
+		}
+		if total == 0 {
+			total = 1
+		}
+		memo[b] = total
+		return total
+	}
+	return walk(root)
+}
+
+// satAdd and satMul saturate just past the ceiling: any budget beyond it is
+// equally over-budget, and saturation keeps adversarial constants from
+// overflowing int64.
+func satAdd(a, b, ceiling int64) int64 {
+	s := a + b
+	if s < a || s > ceiling+1 {
+		return ceiling + 1
+	}
+	return s
+}
+
+func satMul(a, b, ceiling int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > (ceiling+1)/b {
+		return ceiling + 1
+	}
+	return a * b
+}

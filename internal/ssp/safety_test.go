@@ -1,0 +1,207 @@
+package ssp
+
+import (
+	"strings"
+	"testing"
+
+	"ssp/internal/handtuned"
+	"ssp/internal/ir"
+	"ssp/internal/workloads"
+)
+
+// TestSafetyCertifiesAdaptedBenchmarks proves the positive half of the
+// speculation-safety contract over the whole benchmark suite: every adapted
+// benchmark, under both the chaining and the basic precomputation models,
+// carries a violation-free safety report whose per-slice budgets sit at or
+// under the hardware ceiling.
+func TestSafetyCertifiesAdaptedBenchmarks(t *testing.T) {
+	variants := []struct {
+		name string
+		opt  Options
+	}{
+		{"chaining", DefaultOptions()},
+		{"basic", func() Options { o := DefaultOptions(); o.Chaining = false; return o }()},
+		{"unroll2", func() Options { o := DefaultOptions(); o.ChainUnroll = 2; return o }()},
+	}
+	for _, spec := range workloads.All() {
+		for _, v := range variants {
+			_, enh, rep, _ := adaptWorkload(t, spec.Name, v.opt)
+			if rep.Safety == nil {
+				t.Fatalf("%s/%s: adaptation report carries no safety certificate", spec.Name, v.name)
+			}
+			if len(rep.Safety.Violations) != 0 {
+				t.Errorf("%s/%s: self-certified report carries violations: %v", spec.Name, v.name, rep.Safety.Violations)
+			}
+			if got, want := len(rep.Safety.Slices), rep.NumSlices(); got != want {
+				t.Errorf("%s/%s: %d certificates for %d slices", spec.Name, v.name, got, want)
+			}
+			if mb := rep.Safety.MaxBudget(); mb > rep.Safety.Ceiling {
+				t.Errorf("%s/%s: max budget %d exceeds ceiling %d", spec.Name, v.name, mb, rep.Safety.Ceiling)
+			}
+			for _, s := range rep.Safety.Slices {
+				if s.Budget <= 0 {
+					t.Errorf("%s/%s: slice %s certified a non-positive budget %d", spec.Name, v.name, s.Slice, s.Budget)
+				}
+				if len(s.Obligations) == 0 {
+					t.Errorf("%s/%s: slice %s discharged no obligations", spec.Name, v.name, s.Slice)
+				}
+				if s.Paths <= 0 {
+					t.Errorf("%s/%s: slice %s proof covers no paths", spec.Name, v.name, s.Slice)
+				}
+			}
+			// Re-verifying the emitted binary from scratch must agree with
+			// the self-certification.
+			rep2, err := VerifySafety(enh, DefaultSafetyCeiling)
+			if err != nil {
+				t.Errorf("%s/%s: re-verification failed: %v", spec.Name, v.name, err)
+			}
+			if rep2.MaxBudget() != rep.Safety.MaxBudget() {
+				t.Errorf("%s/%s: re-verified budget %d != certified %d", spec.Name, v.name, rep2.MaxBudget(), rep.Safety.MaxBudget())
+			}
+		}
+	}
+}
+
+// TestSafetyRejectsMutatedBenchmarks is the mutation-based negative corpus:
+// for every adapted benchmark, inject one violation per safety class and
+// assert the verifier rejects each mutant with a violation of exactly the
+// injected class — no vacuous passes, no wrong-reason rejections.
+func TestSafetyRejectsMutatedBenchmarks(t *testing.T) {
+	for _, spec := range workloads.All() {
+		_, enh, rep, _ := adaptWorkload(t, spec.Name, DefaultOptions())
+		if rep.NumSlices() == 0 {
+			t.Fatalf("%s: no slices emitted — the negative sweep would be vacuous", spec.Name)
+		}
+		if err := CheckUnsafe(enh, DefaultSafetyCeiling); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+}
+
+// TestSafetyCertifiesHandAdaptations pins the hand-tuned binaries: their
+// latch-guarded chains must verify as data-guarded (ChainBound -1) with a
+// static straight-line budget.
+func TestSafetyCertifiesHandAdaptations(t *testing.T) {
+	for _, name := range []string{"mcf", "health"} {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, _ := spec.Build(spec.TestScale)
+		hand, err := handtuned.Adapt(name, orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := VerifySafety(hand, DefaultSafetyCeiling)
+		if err != nil {
+			t.Fatalf("%s hand: %v", name, err)
+		}
+		if len(rep.Slices) == 0 {
+			t.Fatalf("%s hand: no slice certified", name)
+		}
+		for _, s := range rep.Slices {
+			if !s.Static {
+				t.Errorf("%s hand: slice %s not statically budgeted", name, s.Slice)
+			}
+			if s.ChainBound != -1 {
+				t.Errorf("%s hand: slice %s chain bound %d, want -1 (data-guarded)", name, s.Slice, s.ChainBound)
+			}
+		}
+	}
+}
+
+// TestSafetyBudgetArithmetic pins the certificate numbers on a hand-built
+// countdown loop: a stub staging bound 5, a two-instruction prologue, a
+// five-instruction loop body, and a kill tail must certify exactly
+// prologue + (1+bound)*body + tail instructions (one acyclic traversal plus
+// bound collapsed iterations).
+func TestSafetyBudgetArithmetic(t *testing.T) {
+	p := ir.NewProgram("main")
+	fb := ir.NewFunc(p, "main")
+	e := fb.Block("entry")
+	e.Chk("ssp_stub_0")
+	e.Halt()
+	stub := fb.Block("ssp_stub_0")
+	stub.Liw(0, 7)
+	stub.MovI(ScratchGR, 5)
+	stub.Liw(1, ScratchGR)
+	stub.Spawn("ssp_slice_0")
+	root := fb.Block("ssp_slice_0")
+	root.Lir(7, 0)
+	root.Lir(ScratchGR, 1)
+	loop := fb.Block("ssp_slice_0_loop")
+	loop.Lfetch(7, 0)
+	loop.AddI(7, 7, 8)
+	loop.AddI(ScratchGR, ScratchGR, -1)
+	loop.CmpI(ir.CondGT, 63, 62, ScratchGR, 0)
+	loop.On(63).Br("ssp_slice_0_loop")
+	done := fb.Block("ssp_slice_0_done")
+	done.Kill()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifySafety(p, DefaultSafetyCeiling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Slices) != 1 {
+		t.Fatalf("certified %d slices, want 1", len(rep.Slices))
+	}
+	s := rep.Slices[0]
+	if !s.Static {
+		t.Fatalf("countdown loop not statically budgeted: %+v", s)
+	}
+	// prologue 2 + loop body 5 (acyclic traversal) + 5*5 (collapsed
+	// iterations) + kill 1 = 33.
+	if want := int64(2 + 5 + 5*5 + 1); s.Budget != want {
+		t.Fatalf("budget %d, want %d (%+v)", s.Budget, want, s)
+	}
+	if s.Backedges != 1 {
+		t.Fatalf("backedges %d, want 1", s.Backedges)
+	}
+}
+
+// TestSafetyRejectsStuckLoopGuard pins the loop-variance obligation: a
+// backedge guard recomputed each iteration from values the loop never
+// changes is still an infinite loop, and the verifier must say so.
+func TestSafetyRejectsStuckLoopGuard(t *testing.T) {
+	p := ir.NewProgram("main")
+	fb := ir.NewFunc(p, "main")
+	e := fb.Block("entry")
+	e.Halt()
+	root := fb.Block("ssp_slice_0")
+	root.Lir(7, 0)
+	loop := fb.Block("ssp_slice_0_loop")
+	loop.Lfetch(7, 0)
+	loop.CmpI(ir.CondGT, 20, 21, 7, 0) // r7 never changes in the loop
+	loop.On(20).Br("ssp_slice_0_loop")
+	done := fb.Block("ssp_slice_0_done")
+	done.Kill()
+	rep := AnalyzeSafety(p, DefaultSafetyCeiling)
+	found := false
+	for _, v := range rep.Violations {
+		if v.Class == SafetyUnboundedLoop && strings.Contains(v.Detail, "loop-invariant") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stuck guard accepted; violations: %v", rep.Violations)
+	}
+}
+
+// TestSafetyAcceptsProgramsWithoutSlices: a plain program yields an empty,
+// violation-free report.
+func TestSafetyAcceptsProgramsWithoutSlices(t *testing.T) {
+	spec, err := workloads.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := spec.Build(spec.TestScale)
+	rep, err := VerifySafety(orig, DefaultSafetyCeiling)
+	if err != nil {
+		t.Fatalf("plain program rejected: %v", err)
+	}
+	if len(rep.Slices) != 0 || len(rep.Violations) != 0 {
+		t.Fatalf("plain program produced a non-empty report: %+v", rep)
+	}
+}

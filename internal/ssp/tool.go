@@ -138,6 +138,7 @@ func AdaptTargets(orig *ir.Program, prof *profile.Profile, opt Options, label st
 	}
 	t.report.DelinquentLoads = dels
 	if len(dels) == 0 {
+		t.report.Safety = AnalyzeSafety(p, DefaultSafetyCeiling)
 		return p, t.report, nil
 	}
 
@@ -218,6 +219,13 @@ func AdaptTargets(orig *ir.Program, prof *profile.Profile, opt Options, label st
 	if err := VerifyAttachments(p); err != nil {
 		return nil, nil, fmt.Errorf("ssp: self-check failed: %w", err)
 	}
+	// Speculation-safety self-certification: every emitted slice must carry
+	// a budget certificate at or under the hardware ceiling (safety.go).
+	srep, err := VerifySafety(p, DefaultSafetyCeiling)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ssp: safety self-check failed: %w", err)
+	}
+	t.report.Safety = srep
 	return p, t.report, nil
 }
 

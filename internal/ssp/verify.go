@@ -14,9 +14,11 @@ import (
 //   - a stub block consists of live-in copies (plus at most a countdown
 //     staging move) and ends with a spawn;
 //   - spawn targets resolve to slice blocks (or stub-local labels);
-//   - slice blocks contain no stores, calls, returns, or halts — the
+//   - slice regions pass the speculation-safety analysis (AnalyzeSafety):
+//     no reachable instruction can write memory or escape the region — the
 //     speculative thread can never alter main-thread architectural state
-//     (§2) — and every slice path ends in kill or a backedge;
+//     (§2) — and every path from the slice root reaches kill within a
+//     bounded instruction budget, not merely "some kill appears somewhere";
 //   - the live-in slots a slice reads (lir) — in any block of its region, at
 //     any position — are a subset of the slots every spawner of that slice
 //     writes (liw) before the spawn, so no thread reads an uninitialized
@@ -137,25 +139,14 @@ func VerifyAttachments(p *ir.Program) error {
 		if err != nil {
 			return err
 		}
-		// Slice block hygiene.
-		for label, b := range slices {
-			blocks := sliceRegionBlocks(f, label)
-			terminated := false
-			for _, sb := range blocks {
-				for _, in := range sb.Instrs {
-					switch in.Op {
-					case ir.OpSt, ir.OpFSt:
-						return fmt.Errorf("ssp: %s/%s: store %v in slice", f.Name, label, in)
-					case ir.OpCall, ir.OpCallB, ir.OpRet, ir.OpHalt, ir.OpChk:
-						return fmt.Errorf("ssp: %s/%s: illegal %v in slice", f.Name, label, in)
-					case ir.OpKill:
-						terminated = true
-					}
-				}
-			}
-			_ = b
-			if !terminated {
-				return fmt.Errorf("ssp: %s/%s: slice has no kill", f.Name, label)
+		// Slice termination and isolation: the speculation-safety analysis
+		// (safety.go) proves, path-sensitively over the region CFG, that no
+		// reachable instruction stores, calls, or escapes the region and that
+		// every path reaches kill within a bounded instruction budget — the
+		// all-paths strengthening of the old "any kill anywhere" scan.
+		for label := range slices {
+			if _, vs := analyzeSlice(f, label, DefaultSafetyCeiling); len(vs) > 0 {
+				return fmt.Errorf("ssp: %s", vs[0])
 			}
 		}
 	}

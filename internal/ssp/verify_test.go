@@ -1,6 +1,7 @@
 package ssp
 
 import (
+	"strings"
 	"testing"
 
 	"ssp/internal/handtuned"
@@ -119,4 +120,30 @@ func TestVerifyRejectsCorruptions(t *testing.T) {
 			}
 		})
 	})
+}
+
+// TestVerifyRejectsKillOnOneBranchArm is the regression for the weak kill
+// check: the old scan accepted a slice as terminated if *any* kill appeared
+// anywhere in its region, so a kill reachable on only one branch arm passed.
+// The all-paths analysis must reject the arm that leaves the region without
+// one.
+func TestVerifyRejectsKillOnOneBranchArm(t *testing.T) {
+	_, enh, _, _ := adaptWorkload(t, "mcf", DefaultOptions())
+	f := enh.FuncByName("main")
+	b := f.BlockByLabel("ssp_slice_0")
+	// Branch around the region's tail (where the kill lives) on one arm:
+	// the fall-through arm still kills, the taken arm falls off the region.
+	stray := f.AddBlock("ssp_slice_0_stray")
+	_ = stray // deliberately empty: the arm exits the region without kill
+	br := &ir.Instr{Op: ir.OpBr, Qp: 1, Target: "ssp_slice_0_stray"}
+	enh.Assign(br)
+	b.InsertAt(0, br)
+	f.Renumber()
+	err := VerifyAttachments(enh)
+	if err == nil {
+		t.Fatal("verification accepted a slice whose kill is on only one branch arm")
+	}
+	if !strings.Contains(err.Error(), string(SafetyNoKill)) {
+		t.Fatalf("rejected for the wrong reason: %v", err)
+	}
 }
