@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet test race alloc-gate bench bench-diff bench-smoke sspcheck predecode-sweep fastforward-sweep hotpath-sweep safety-sweep fuzz-smoke cover serve-smoke serve-load tune-smoke tune-bench table2 table2-check
+.PHONY: check fmt vet test race alloc-gate bench bench-diff bench-smoke bench-gate sspcheck predecode-sweep fastforward-sweep hotpath-sweep safety-sweep threaded-sweep fuzz-smoke cover serve-smoke serve-load tune-smoke tune-bench table2 table2-check
 
 # check is the full gate: formatting, vet, the test suite under the race
 # detector (the concurrent experiment engine is exercised by internal/exp's
@@ -9,9 +9,10 @@ GO ?= go
 # fuzz sweep over 32 fixed seeds (internal/check), the 500-seed fast-forward
 # equivalence sweep, the 200-seed hot-path/machine-reuse equivalence sweep,
 # the 32-seed speculation-safety sweep (static budget certificates, dynamic
-# budget oracle, adversarial mutants), and a short native-fuzzing smoke of
-# the parser and the adaptation tool.
-check: fmt vet race alloc-gate sspcheck fastforward-sweep hotpath-sweep safety-sweep fuzz-smoke
+# budget oracle, adversarial mutants), the 200-seed threaded-core
+# equivalence sweep, and a short native-fuzzing smoke of the parser, the
+# adaptation tool, and the threaded execution core.
+check: fmt vet race alloc-gate sspcheck fastforward-sweep hotpath-sweep safety-sweep threaded-sweep fuzz-smoke
 
 # sspcheck runs 32 seeded random programs through all three validation
 # layers; reproduce a reported failure with: go run ./cmd/sspcheck -seed N
@@ -46,6 +47,14 @@ hotpath-sweep:
 safety-sweep:
 	$(GO) run ./cmd/sspcheck -seeds 32 -safety
 
+# threaded-sweep is the regression gate for the closure-threaded execution
+# core: per seed, interpreting and simulating over compiled per-block chains
+# must agree bit-for-bit with table dispatch — entire Result, original and
+# SSP-adapted program, both machine models, fresh/shared/rerun/stats-off
+# machines, fast-forward off and on.
+threaded-sweep:
+	$(GO) run ./cmd/sspcheck -seeds 200 -threaded
+
 # alloc-gate runs the allocation-regression tests without the race detector
 # (whose instrumentation allocates): the per-access hot path must stay at
 # exactly zero allocations, warm engine reruns under their hard ceilings.
@@ -57,12 +66,16 @@ alloc-gate:
 fuzz-smoke:
 	$(GO) test ./internal/ir -run '^$$' -fuzz FuzzParseAsmRoundTrip -fuzztime 30s
 	$(GO) test ./internal/ssp -run '^$$' -fuzz FuzzAdaptRandomProgram -fuzztime 30s
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzThreadedEquivalence -fuzztime 30s
 
 # cover enforces the coverage floor over the whole module (statement coverage,
 # all packages counted against all tests).
+# The profile lands under the git-ignored .cover/ so a stale cover.out can
+# never end up sitting in (or committed to) the repo root again.
 cover:
-	$(GO) test -count=1 -coverprofile=cover.out -coverpkg=./... ./...
-	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	@mkdir -p .cover
+	$(GO) test -count=1 -coverprofile=.cover/cover.out -coverpkg=./... ./...
+	@total=$$($(GO) tool cover -func=.cover/cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
 	awk -v t=$$total 'BEGIN { if (t + 0 < 70) { printf "coverage %.1f%% is below the 70%% floor\n", t; exit 1 } printf "coverage %.1f%% (floor 70%%)\n", t }'
 
 fmt:
@@ -150,3 +163,11 @@ table2-check:
 # allocs/op visible in the CI log), without CI-grade noise-sensitive timing.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./internal/sim/...
+
+# bench-gate is the benchstat-style regression gate on the threaded execution
+# core: the threaded/table speedup ratios (machine-portable, unlike raw
+# ns/op) are re-measured in-process and must not fall more than 10% below
+# the baselines committed in BENCH_sim.json ("threaded".gate). CI runs it in
+# the bench-smoke job.
+bench-gate:
+	SSP_BENCH_GATE=1 $(GO) test -count=1 -run TestThreadedSpeedupGate -v ./internal/sim

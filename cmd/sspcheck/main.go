@@ -14,6 +14,7 @@
 //	sspcheck -seeds 500 -fastforward # fast-forward-equivalence sweep instead
 //	sspcheck -seeds 200 -hotpath     # hot-path/machine-reuse sweep instead
 //	sspcheck -seeds 32 -safety       # speculation-safety sweep instead
+//	sspcheck -seeds 200 -threaded    # threaded-core-equivalence sweep instead
 //
 // A violation prints its seed and exits non-zero; rerunning with -seed N
 // reproduces it exactly.
@@ -38,6 +39,7 @@ type options struct {
 	fastforward  bool
 	hotpath      bool
 	safety       bool
+	threaded     bool
 	verbose      bool
 }
 
@@ -61,6 +63,9 @@ func sweep(o options, out, errw io.Writer) (total int64, failures int) {
 	case o.safety:
 		checkSeed = check.SafetySeed
 		layers = "the speculation-safety layer"
+	case o.threaded:
+		checkSeed = check.ThreadedSeed
+		layers = "the threaded-core-equivalence layer"
 	}
 
 	lo, hi := o.start, o.start+o.seeds
@@ -94,6 +99,7 @@ func main() {
 	flag.BoolVar(&o.fastforward, "fastforward", false, "run the fast-forward-equivalence layer per seed instead of the differential/metamorphic layers")
 	flag.BoolVar(&o.hotpath, "hotpath", false, "run the hot-path-equivalence layer (machine reuse vs fresh machines) per seed instead of the differential/metamorphic layers")
 	flag.BoolVar(&o.safety, "safety", false, "run the speculation-safety layer (static budget certificates, dynamic budget oracle, adversarial mutants) per seed instead of the differential/metamorphic layers")
+	flag.BoolVar(&o.threaded, "threaded", false, "run the threaded-core-equivalence layer (closure-threaded chains vs table dispatch) per seed instead of the differential/metamorphic layers")
 	flag.BoolVar(&o.verbose, "v", false, "print each seed as it passes")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProf := flag.String("memprofile", "", "write an allocation profile of the sweep to this file")

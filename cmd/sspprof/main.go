@@ -2,19 +2,30 @@
 // the cycle-level simulator and writes the feedback bundle (cache profile,
 // block frequencies, dynamic call graph) that cmd/sspgen consumes.
 //
+// With -hot-blocks it instead prints the top-N basic blocks by dynamic
+// instruction share (from the same dense per-PC stats), annotated with what
+// the closure-threaded execution core compiled each block to — chain nodes,
+// fused constituents, exit width — so superinstruction fusion coverage on
+// the actually-hot code is inspectable per benchmark.
+//
 // Usage:
 //
 //	sspprof -in prog.ssp -out prog.prof.json
 //	sspprof -bench mcf -scale 20000 -out mcf.prof.json
+//	sspprof -bench mcf -tiny -hot-blocks 10
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
 	"ssp/internal/cliutil"
+	"ssp/internal/ir"
 	"ssp/internal/profile"
+	"ssp/internal/sim"
 )
 
 func main() {
@@ -25,15 +36,16 @@ func main() {
 		model = flag.String("model", "in-order", "machine model: in-order or ooo")
 		tiny  = flag.Bool("tiny", false, "use the scaled-down test memory system")
 		out   = flag.String("out", "", "output profile path (default stdout)")
+		hot   = flag.Int("hot-blocks", 0, "print the top-N blocks by dynamic instruction share instead of a profile bundle")
 	)
 	flag.Parse()
-	if err := run(*in, *bench, *scale, *model, *tiny, *out); err != nil {
+	if err := run(*in, *bench, *scale, *model, *tiny, *out, *hot); err != nil {
 		fmt.Fprintln(os.Stderr, "sspprof:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, bench string, scale int, model string, tiny bool, out string) error {
+func run(in, bench string, scale int, model string, tiny bool, out string, hot int) error {
 	p, _, err := cliutil.LoadProgram(in, bench, scale)
 	if err != nil {
 		return err
@@ -41,6 +53,9 @@ func run(in, bench string, scale int, model string, tiny bool, out string) error
 	cfg, err := cliutil.MachineConfig(model, tiny)
 	if err != nil {
 		return err
+	}
+	if hot > 0 {
+		return hotBlocks(os.Stdout, p, cfg, hot)
 	}
 	pr, err := profile.Collect(p, cfg)
 	if err != nil {
@@ -61,5 +76,69 @@ func run(in, bench string, scale int, model string, tiny bool, out string) error
 	dels := pr.DelinquentLoads(0.9, 10)
 	fmt.Fprintf(os.Stderr, "profiled %d cycles; %d loads cover >=90%% of %d miss cycles: %v\n",
 		pr.Cycles, len(dels), pr.TotalMissCycles, dels)
+	return nil
+}
+
+// hotBlocks runs the program once with dense per-PC profiling, aggregates
+// the counts over the threaded core's basic blocks, and prints the top-N by
+// dynamic instruction share with each block's compiled-chain shape.
+func hotBlocks(w io.Writer, p *ir.Program, cfg sim.Config, n int) error {
+	img, err := ir.Link(p)
+	if err != nil {
+		return err
+	}
+	dp := sim.Predecode(img)
+	cfg.Profile = true
+	res, err := sim.NewPredecoded(cfg, dp).Run()
+	if err != nil {
+		return err
+	}
+	if res.TimedOut {
+		return fmt.Errorf("hot-blocks: run timed out after %d cycles", res.Cycles)
+	}
+	tp := sim.ThreadedProgram(dp)
+
+	type row struct {
+		block  int
+		instrs uint64
+	}
+	var total uint64
+	rows := make([]row, len(tp.Blocks))
+	for bi := range tp.Blocks {
+		rows[bi].block = bi
+	}
+	for pc, count := range res.PCCount {
+		total += count
+		rows[tp.BlockOf[pc]].instrs += count
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].instrs != rows[j].instrs {
+			return rows[i].instrs > rows[j].instrs
+		}
+		return rows[i].block < rows[j].block
+	})
+	if n > len(rows) {
+		n = len(rows)
+	}
+	fmt.Fprintf(w, "hot blocks: top %d of %d by main-thread dynamic instruction share (%d instrs total)\n",
+		n, len(rows), total)
+	fmt.Fprintf(w, "%4s  %7s  %7s  %12s  %-24s  %-11s  %s\n",
+		"rank", "share", "cum", "instrs", "block", "pcs", "chain")
+	var cum float64
+	for i := 0; i < n; i++ {
+		r := rows[i]
+		if r.instrs == 0 {
+			break
+		}
+		b := &tp.Blocks[r.block]
+		share := 100 * float64(r.instrs) / float64(total)
+		cum += share
+		chain := fmt.Sprintf("nodes=%d fused=%d exit=%d", len(b.Body()), b.NBody, b.End-b.Start-b.NBody)
+		if len(b.LoadPCs) > 0 {
+			chain += fmt.Sprintf(" loads=%d", len(b.LoadPCs))
+		}
+		fmt.Fprintf(w, "%4d  %6.2f%%  %6.2f%%  %12d  %-24s  %-11s  %s\n",
+			i+1, share, cum, r.instrs, img.BlockKey(int(b.Start)), fmt.Sprintf("[%d,%d)", b.Start, b.End), chain)
+	}
 	return nil
 }

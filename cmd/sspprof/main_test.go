@@ -1,16 +1,19 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"ssp/internal/cliutil"
 	"ssp/internal/profile"
 )
 
 func TestProfilePipeline(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "p.json")
-	if err := run("", "mcf", 800, "in-order", true, out); err != nil {
+	if err := run("", "mcf", 800, "in-order", true, out, 0); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -30,11 +33,34 @@ func TestProfilePipeline(t *testing.T) {
 	}
 }
 
+func TestHotBlocks(t *testing.T) {
+	p, _, err := cliutil.LoadProgram("", "mcf", 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := cliutil.MachineConfig("in-order", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := hotBlocks(&buf, p, cfg, 5); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "hot blocks: top") {
+		t.Fatalf("missing header:\n%s", got)
+	}
+	// mcf's pointer-chase loop dominates; its chain shape must be reported.
+	if !strings.Contains(got, "main.loop") || !strings.Contains(got, "fused=") {
+		t.Fatalf("missing hot-loop row with chain shape:\n%s", got)
+	}
+}
+
 func TestProfileErrors(t *testing.T) {
-	if err := run("", "nosuch", 0, "in-order", true, ""); err == nil {
+	if err := run("", "nosuch", 0, "in-order", true, "", 0); err == nil {
 		t.Fatal("accepted unknown benchmark")
 	}
-	if err := run("", "mcf", 400, "warpdrive", true, ""); err == nil {
+	if err := run("", "mcf", 400, "warpdrive", true, "", 0); err == nil {
 		t.Fatal("accepted unknown model")
 	}
 }

@@ -1,0 +1,164 @@
+package cfg
+
+import (
+	"testing"
+
+	"ssp/internal/ir"
+	"ssp/internal/workloads"
+)
+
+// checkImageBlocks asserts the structural invariants the threaded compiler
+// relies on: the blocks partition [0, len(code)) contiguously, blockOf is
+// consistent with the partition, only a block's last instruction can redirect
+// control, every listed successor is a valid block index, and every static
+// branch/call/chk/spawn target in the image is a block Start.
+func checkImageBlocks(t *testing.T, img *ir.Image) {
+	t.Helper()
+	blocks, blockOf := ImageBlocks(img)
+	n := len(img.Code)
+	if len(blockOf) != n {
+		t.Fatalf("blockOf length %d, code length %d", len(blockOf), n)
+	}
+	isStart := make(map[int]bool, len(blocks))
+	next := 0
+	for bi, b := range blocks {
+		if b.Start != next {
+			t.Fatalf("block %d starts at %d, want %d (gap or overlap)", bi, b.Start, next)
+		}
+		if b.End <= b.Start || b.End > n {
+			t.Fatalf("block %d has bounds [%d,%d)", bi, b.Start, b.End)
+		}
+		next = b.End
+		isStart[b.Start] = true
+		for pc := b.Start; pc < b.End; pc++ {
+			if blockOf[pc] != int32(bi) {
+				t.Fatalf("blockOf[%d] = %d, want %d", pc, blockOf[pc], bi)
+			}
+			if pc != b.End-1 && redirects(img.Code[pc].I.Op) {
+				t.Fatalf("block %d has redirecting op %v mid-block at pc %d", bi, img.Code[pc].I.Op, pc)
+			}
+		}
+		for _, s := range b.Succs {
+			if s < 0 || s >= len(blocks) {
+				t.Fatalf("block %d successor %d out of range", bi, s)
+			}
+		}
+	}
+	if next != n {
+		t.Fatalf("blocks cover [0,%d), code length %d", next, n)
+	}
+	for pc := range img.Code {
+		if tgt := img.Code[pc].Tgt; tgt >= 0 && int(tgt) < n && !isStart[int(tgt)] {
+			t.Fatalf("pc %d targets %d, which is not a block start", pc, tgt)
+		}
+	}
+}
+
+// TestImageBlocksRandomPrograms: the partition invariants hold over seeded
+// random programs, whose linked images mix loops, calls, and predication.
+func TestImageBlocksRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		img, err := ir.Link(workloads.RandomProgram(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkImageBlocks(t, img)
+	}
+}
+
+// TestImageBlocksBenchmarks: the invariants hold on every paper benchmark.
+func TestImageBlocksBenchmarks(t *testing.T) {
+	for _, spec := range workloads.All() {
+		p, _ := spec.Build(spec.TestScale)
+		img, err := ir.Link(p)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		checkImageBlocks(t, img)
+	}
+}
+
+// TestImageBlocksCallShape pins the successor semantics on a hand-built
+// image: a call block's successor is the callee entry (not the return
+// point), the callee's ret block is Dynamic with no static successors, and
+// the post-call PC is a block start (it is ret's landing pad).
+func TestImageBlocksCallShape(t *testing.T) {
+	p := ir.NewProgram("main")
+	f := ir.NewFunc(p, "main")
+	e := f.Block("entry")
+	e.MovI(14, 1)
+	e.Call("leaf")
+	post := f.Block("post")
+	post.Halt()
+	g := ir.NewFunc(p, "leaf")
+	l := g.Block("top")
+	l.AddI(14, 14, 1)
+	l.Ret(0)
+	_ = post
+
+	img, err := ir.Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkImageBlocks(t, img)
+	blocks, blockOf := ImageBlocks(img)
+
+	var callBlock, retBlock = -1, -1
+	for bi, b := range blocks {
+		switch img.Code[b.End-1].I.Op {
+		case ir.OpCall:
+			callBlock = bi
+		case ir.OpRet:
+			retBlock = bi
+		}
+	}
+	if callBlock < 0 || retBlock < 0 {
+		t.Fatalf("call/ret blocks not found: %d %d", callBlock, retBlock)
+	}
+	callee := int(blockOf[img.Code[blocks[callBlock].End-1].Tgt])
+	if len(blocks[callBlock].Succs) != 1 || blocks[callBlock].Succs[0] != callee {
+		t.Fatalf("call block succs %v, want [%d] (callee entry)", blocks[callBlock].Succs, callee)
+	}
+	if !blocks[retBlock].Dynamic || len(blocks[retBlock].Succs) != 0 {
+		t.Fatalf("ret block: dynamic=%v succs=%v, want dynamic with no static successors",
+			blocks[retBlock].Dynamic, blocks[retBlock].Succs)
+	}
+	// The instruction after the call must begin a block: it is the return
+	// address ret jumps through.
+	retAddr := blocks[callBlock].End
+	if blocks[blockOf[retAddr]].Start != retAddr {
+		t.Fatalf("return address %d is not a block start", retAddr)
+	}
+}
+
+// TestImageBlocksPredicatedBranch pins that a predicated branch block lists
+// the fall-through first, then the taken target, and an unpredicated branch
+// lists only the target.
+func TestImageBlocksPredicatedBranch(t *testing.T) {
+	p := ir.NewProgram("main")
+	f := ir.NewFunc(p, "main")
+	e := f.Block("entry")
+	e.CmpI(ir.CondLT, 6, 7, 14, 10)
+	e.On(6).Br("exit")
+	mid := f.Block("mid")
+	mid.AddI(15, 15, 1)
+	mid.Br("exit")
+	x := f.Block("exit")
+	x.Halt()
+	_ = mid
+
+	img, err := ir.Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkImageBlocks(t, img)
+	blocks, blockOf := ImageBlocks(img)
+	entry := blocks[blockOf[0]]
+	if len(entry.Succs) != 2 || blocks[entry.Succs[0]].Start != entry.End {
+		t.Fatalf("predicated branch succs %v, want fall-through first", entry.Succs)
+	}
+	midB := blocks[entry.Succs[0]]
+	if len(midB.Succs) != 1 {
+		t.Fatalf("unpredicated branch succs %v, want exactly the target", midB.Succs)
+	}
+}

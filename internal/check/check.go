@@ -548,6 +548,137 @@ func PredecodeSeed(seed int64, cfgs []sim.Config) error {
 	return nil
 }
 
+// ThreadedEquivalence asserts that the closure-threaded execution core
+// (internal/sim/threaded) is an execution strategy, not a model change (the
+// regression gate for the threaded-code refactor): for every configured
+// machine model, with fast-forwarding both off and on, a table-dispatch run
+// and threaded runs of the same program agree bit-for-bit on the complete
+// result — cycles, architectural state, every cell of the Figure 10 breakdown
+// and the utilization histogram, the event counters, and the full per-load
+// memory statistics. The threaded side runs three ways: over a privately
+// predecoded image (fresh chain compile), over a shared predecoded image
+// (memoized compile), and a rerun over the same shared image (warm sidecar) —
+// the rerun would expose an engine mutating the supposedly immutable compiled
+// chains. A stats-off pair is compared as well, since detaching the cycle
+// hook exercises the devirtualized default-stats path's absence. Finally the
+// functional interpreter's chain walker is compared against its table loop on
+// final registers, instruction count, and memory checksum.
+func ThreadedEquivalence(cfgs []sim.Config, p *ir.Program) error {
+	img, err := ir.Link(p)
+	if err != nil {
+		return fmt.Errorf("check: link: %w", err)
+	}
+	shared := sim.Predecode(img)
+
+	// Functional interpreter: chains vs table loop.
+	icOff, icOn := cfgs[0], cfgs[0]
+	icOff.Threaded, icOn.Threaded = false, true
+	tblI, err := sim.InterpretPredecoded(icOff, shared, maxInterpInstrs)
+	if err != nil {
+		return fmt.Errorf("check: threaded: table interpret: %w", err)
+	}
+	thrI, err := sim.InterpretPredecoded(icOn, shared, maxInterpInstrs)
+	if err != nil {
+		return fmt.Errorf("check: threaded: chain interpret: %w", err)
+	}
+	if err := compareRegs(thrI.Regs, tblI.Regs, false, "chain interpreter vs table"); err != nil {
+		return fmt.Errorf("check: threaded: %w", err)
+	}
+	if thrI.Instrs != tblI.Instrs {
+		return fmt.Errorf("check: threaded: chain interpreter retired %d instrs, table %d", thrI.Instrs, tblI.Instrs)
+	}
+	if thrI.Mem.Checksum() != tblI.Mem.Checksum() {
+		return fmt.Errorf("check: threaded: chain interpreter checksum %#x, table %#x", thrI.Mem.Checksum(), tblI.Mem.Checksum())
+	}
+
+	for _, cfg := range cfgs {
+		for _, ff := range []bool{false, true} {
+			off, on := cfg, cfg
+			off.Threaded, on.Threaded = false, true
+			off.FastForward, on.FastForward = ff, ff
+			ref, err := run(off, shared)
+			if err != nil {
+				return fmt.Errorf("check: threaded %v ff=%v: table: %w", cfg.Model, ff, err)
+			}
+			fresh, err := run(on, sim.Predecode(img))
+			if err != nil {
+				return fmt.Errorf("check: threaded %v ff=%v: fresh: %w", cfg.Model, ff, err)
+			}
+			first, err := run(on, shared)
+			if err != nil {
+				return fmt.Errorf("check: threaded %v ff=%v: shared: %w", cfg.Model, ff, err)
+			}
+			second, err := run(on, shared)
+			if err != nil {
+				return fmt.Errorf("check: threaded %v ff=%v: shared rerun: %w", cfg.Model, ff, err)
+			}
+			for _, alt := range []struct {
+				what string
+				res  *sim.Result
+			}{
+				{"fresh compile", fresh},
+				{"shared compile", first},
+				{"shared compile rerun", second},
+			} {
+				if err := sameTiming(alt.res, ref); err != nil {
+					return fmt.Errorf("check: threaded %v ff=%v: %s vs table: %w", cfg.Model, ff, alt.what, err)
+				}
+			}
+			// Stats-off pair: Breakdown/SpecActiveHist are deliberately
+			// empty, bypassing run()'s conservation layer, and the engines'
+			// devirtualized default-stats branch is not taken.
+			var offRes [2]*sim.Result
+			for i, c := range []sim.Config{off, on} {
+				m := sim.NewPredecoded(c, shared)
+				m.DisableStats()
+				r, err := m.Run()
+				if err != nil {
+					return fmt.Errorf("check: threaded %v ff=%v: stats-off: %w", cfg.Model, ff, err)
+				}
+				if r.TimedOut {
+					return fmt.Errorf("check: threaded %v ff=%v: stats-off: watchdog expired", cfg.Model, ff)
+				}
+				offRes[i] = r
+			}
+			if err := compareRegs(offRes[1].FinalRegs, offRes[0].FinalRegs, false, "stats-off threaded vs table"); err != nil {
+				return fmt.Errorf("check: threaded %v ff=%v: %w", cfg.Model, ff, err)
+			}
+			if offRes[1].Cycles != offRes[0].Cycles {
+				return fmt.Errorf("check: threaded %v ff=%v: stats-off: %d cycles vs %d", cfg.Model, ff, offRes[1].Cycles, offRes[0].Cycles)
+			}
+			if offRes[1].MemChecksum != offRes[0].MemChecksum {
+				return fmt.Errorf("check: threaded %v ff=%v: stats-off: memory checksum %#x vs %#x", cfg.Model, ff, offRes[1].MemChecksum, offRes[0].MemChecksum)
+			}
+		}
+	}
+	return nil
+}
+
+// ThreadedSeed runs the threaded-equivalence gate on an original and an
+// adapted random program from one seed; sweeping it over N seeds is the
+// regression net for the closure-threaded execution core (cmd/sspcheck
+// -threaded). The adapted program matters: chk.c stubs, spawns and
+// speculative slices exercise the engines' budget enforcement and kill paths
+// under the pure-step fast lanes, which an original program never reaches.
+func ThreadedSeed(seed int64, cfgs []sim.Config) error {
+	p := workloads.RandomProgram(seed)
+	if err := ThreadedEquivalence(cfgs, p); err != nil {
+		return fmt.Errorf("seed %d: original: %w", seed, err)
+	}
+	prof, err := profile.Collect(p, cfgs[0])
+	if err != nil {
+		return fmt.Errorf("seed %d: profile: %w", seed, err)
+	}
+	adapted, _, err := ssp.Adapt(p, prof, ssp.DefaultOptions(), fmt.Sprintf("seed%d", seed))
+	if err != nil {
+		return fmt.Errorf("seed %d: adapt: %w", seed, err)
+	}
+	if err := ThreadedEquivalence(cfgs, adapted); err != nil {
+		return fmt.Errorf("seed %d: adapted: %w", seed, err)
+	}
+	return nil
+}
+
 // Seed drives all three layers from one seed: generate a random program,
 // differentially validate it, adapt it with a seed-derived option mix
 // (ssp.Adapt runs Validate and VerifyAttachments internally), then validate

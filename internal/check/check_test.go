@@ -177,6 +177,70 @@ func TestFastForwardEquivalenceSweep(t *testing.T) {
 	}
 }
 
+// TestThreadedEquivalenceSweep: the closure-threaded execution core produces
+// bit-for-bit identical results to table dispatch over a sweep of seeded
+// random programs, original and SSP-adapted, on both machine models, with
+// fast-forward off and on (cmd/sspcheck -threaded widens the sweep to 200+
+// seeds; make threaded-sweep runs it in CI).
+func TestThreadedEquivalenceSweep(t *testing.T) {
+	n := int64(6)
+	if testing.Short() {
+		n = 2
+	}
+	cfgs := Configs(true)
+	for seed := int64(0); seed < n; seed++ {
+		if err := ThreadedSeed(seed, cfgs); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestThreadedEquivalenceBenchmarks: the threaded gate holds on all seven
+// paper benchmarks, baseline and SSP-adapted, under both machine models. It
+// also asserts the chains actually compile and fuse on every benchmark: a
+// silently unthreadable image would pass equivalence trivially through the
+// table fallback while the simulator quietly lost its speedup.
+func TestThreadedEquivalenceBenchmarks(t *testing.T) {
+	cfgs := Configs(true)
+	for _, spec := range workloads.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			if testing.Short() && spec.Name != "mcf" {
+				t.Skip("short mode: mcf only")
+			}
+			t.Parallel()
+			orig, _ := spec.Build(spec.TestScale)
+			if err := ThreadedEquivalence(cfgs, orig); err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			prof, err := profile.Collect(orig, cfgs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			adapted, _, err := ssp.Adapt(orig, prof, ssp.DefaultOptions(), spec.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ThreadedEquivalence(cfgs, adapted); err != nil {
+				t.Fatalf("adapted: %v", err)
+			}
+			for _, p := range []*ir.Program{orig, adapted} {
+				img, err := ir.Link(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tp := sim.ThreadedProgram(sim.Predecode(img))
+				if tp.Unthreadable {
+					t.Fatalf("%s: image compiled unthreadable", spec.Name)
+				}
+				if tp.Supers == 0 || tp.NSteps == 0 {
+					t.Fatalf("%s: chains compiled without fusion (supers=%d steps=%d)", spec.Name, tp.Supers, tp.NSteps)
+				}
+			}
+		})
+	}
+}
+
 // TestHotPathEquivalenceSweep: a single machine Reset and reused across
 // models and programs produces results bit-for-bit identical to fresh
 // machines, over a sweep of seeded random programs, original and SSP-adapted

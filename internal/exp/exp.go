@@ -336,7 +336,12 @@ func (s *Suite) predecoded(ctx context.Context, bench string, v Variant) (*decod
 		if err != nil {
 			return nil, err
 		}
-		return sim.Predecode(img), nil
+		dp := sim.Predecode(img)
+		// Warm the closure-threaded chain compile inside the coalesced
+		// cell: every machine over this image shares the sidecar, so no
+		// matrix cell pays the compile inside a timed run.
+		sim.ThreadedProgram(dp)
+		return dp, nil
 	})
 }
 
@@ -519,7 +524,9 @@ func (s *Suite) predecodedOptions(ctx context.Context, bench string, opt ssp.Opt
 		if err != nil {
 			return nil, err
 		}
-		return sim.Predecode(img), nil
+		dp := sim.Predecode(img)
+		sim.ThreadedProgram(dp) // warm the chain compile (see predecoded)
+		return dp, nil
 	})
 }
 

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"ssp/internal/sim/decode"
+)
+
+// TestThreadedSpeedupGate is the benchstat-style regression gate on the
+// closure-threaded execution core, run by `make bench-gate` (and the CI
+// bench-smoke job) with SSP_BENCH_GATE=1; it skips otherwise so ordinary
+// `go test` runs stay free of timing-sensitive assertions.
+//
+// Absolute ns/op is machine-dependent, so the committed baseline in
+// BENCH_sim.json ("threaded".gate) records speedup *ratios* — threaded over
+// table dispatch, measured in the same process, same machine, back to back —
+// which port across hosts. The gate re-measures each ratio (median of
+// several interleaved trials, to shrug off scheduler noise) and fails if one
+// regressed more than 10% below its committed value: the benchstat
+// significance rule, applied to the numbers the threaded core exists to move.
+func TestThreadedSpeedupGate(t *testing.T) {
+	if os.Getenv("SSP_BENCH_GATE") == "" {
+		t.Skip("set SSP_BENCH_GATE=1 to run the timing gate (make bench-gate)")
+	}
+	raw, err := os.ReadFile("../../BENCH_sim.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench struct {
+		Threaded struct {
+			Gate map[string]float64 `json:"gate"`
+		} `json:"threaded"`
+	}
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Threaded.Gate) == 0 {
+		t.Fatal("BENCH_sim.json has no threaded.gate baseline ratios")
+	}
+
+	alu := aluProgram(t)
+	mcf := benchNamed(t, "mcf", 3000)
+	interp := func(cfg Config, dp *decode.Program, reps int) func() {
+		cfg.UseTinyMem()
+		return func() {
+			for i := 0; i < reps; i++ {
+				if _, err := InterpretPredecoded(cfg, dp, 1<<40); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	engine := func(cfg Config, dp *decode.Program) func() {
+		cfg.UseTinyMem()
+		m := NewPredecoded(cfg, dp)
+		return func() {
+			m.Reset(cfg, dp)
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	measured := map[string]float64{
+		"BenchmarkInterpretALU": ratio(7,
+			interp(DefaultInOrder(), alu, 1),
+			interp(withTable(DefaultInOrder()), alu, 1)),
+		// The engine pair is the noisiest (one ~60ms run per trial), so it
+		// takes the most trials for the median to settle.
+		"BenchmarkInOrderALU": ratio(9,
+			engine(DefaultInOrder(), alu),
+			engine(withTable(DefaultInOrder()), alu)),
+		// The mcf interpreter pair is short per run, so each trial batches
+		// repetitions; it is the BenchmarkInterpret regression gate proper.
+		"BenchmarkInterpret": ratio(9,
+			interp(DefaultInOrder(), mcf, 20),
+			interp(withTable(DefaultInOrder()), mcf, 20)),
+	}
+	for name, committed := range bench.Threaded.Gate {
+		got, ok := measured[name]
+		if !ok {
+			t.Errorf("%s: baseline ratio committed but not measured by the gate", name)
+			continue
+		}
+		floor := committed * 0.9
+		if got < floor {
+			t.Errorf("%s: threaded/table speedup %.2fx regressed >10%% below the committed %.2fx (floor %.2fx)",
+				name, got, committed, floor)
+		} else {
+			t.Logf("%s: %.2fx (committed %.2fx)", name, got, committed)
+		}
+	}
+}
+
+// ratio returns median(table time) / median(threaded time) over the given
+// number of interleaved trials. Interleaving (threaded, table, threaded, ...)
+// rather than back-to-back blocks keeps slow drifts in machine load from
+// biasing one side.
+func ratio(trials int, threaded, table func()) float64 {
+	threaded() // warm both paths (chain compile, page faults, caches)
+	table()
+	th := make([]time.Duration, 0, trials)
+	tb := make([]time.Duration, 0, trials)
+	for i := 0; i < trials; i++ {
+		start := time.Now()
+		threaded()
+		th = append(th, time.Since(start))
+		start = time.Now()
+		table()
+		tb = append(tb, time.Since(start))
+	}
+	return float64(median(tb)) / float64(median(th))
+}
+
+func median(ds []time.Duration) time.Duration {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+	return ds[len(ds)/2]
+}

@@ -8,20 +8,18 @@ import (
 	"ssp/internal/workloads"
 )
 
-// benchProgram links and predecodes the fixed microbenchmark workload: the
-// mcf kernel at a scale that runs long enough to amortize setup but finishes
-// in well under a second per iteration on the tiny memory system. The decode
-// happens once, outside the timed loop — the pattern every real consumer
-// (exp.Suite, check) follows. All three engine microbenchmarks share it so
-// their numbers are comparable, and BENCH_sim.json tracks them across
-// refactors of the execution core.
-func benchProgram(b *testing.B) *decode.Program {
+// benchNamed links and predecodes one named benchmark workload at the given
+// scale. The decode (and, with Config.Threaded on, the memoized chain
+// compile) happens once, outside the timed loop — the pattern every real
+// consumer (exp.Suite, check) follows. BENCH_sim.json tracks the benchmarks
+// across refactors of the execution core.
+func benchNamed(b testing.TB, name string, scale int) *decode.Program {
 	b.Helper()
-	spec, err := workloads.ByName("mcf")
+	spec, err := workloads.ByName(name)
 	if err != nil {
 		b.Fatal(err)
 	}
-	p, _ := spec.Build(3000)
+	p, _ := spec.Build(scale)
 	img, err := ir.Link(p)
 	if err != nil {
 		b.Fatal(err)
@@ -29,11 +27,83 @@ func benchProgram(b *testing.B) *decode.Program {
 	return Predecode(img)
 }
 
-// BenchmarkInterpret measures the functional interpreter: pure architectural
-// execution, no timing model.
-func BenchmarkInterpret(b *testing.B) {
-	dp := benchProgram(b)
-	cfg := DefaultInOrder()
+// benchProgram is the fixed primary microbenchmark workload: the mcf kernel
+// at a scale that runs long enough to amortize setup but finishes in well
+// under a second per iteration on the tiny memory system. All engine
+// microbenchmarks share it so their numbers are comparable.
+func benchProgram(b testing.TB) *decode.Program {
+	return benchNamed(b, "mcf", 3000)
+}
+
+// aluProgram builds the non-memory-bound microbenchmark: a tight loop of
+// integer ALU work (the add/shift/mask/cmp+br latch idiom the threaded
+// compiler fuses) with four independent dependency chains, so the in-order
+// model sustains its full four-integer-unit issue rate and no loads ever
+// stall it. It is the workload where execution dispatch — not the memory
+// hierarchy — dominates, so it isolates the cycle engines' per-instruction
+// issue cost: the speedup floor the threaded core is gated on (≥1.5x) is
+// measured here, table dispatch vs compiled chains.
+func aluProgram(b testing.TB) *decode.Program {
+	b.Helper()
+	p := ir.NewProgram("main")
+	f := ir.NewFunc(p, "main")
+	e := f.Block("entry")
+	e.MovI(14, 0) // i
+	chains := []ir.Reg{15, 20, 25, 30}
+	for j, r := range chains {
+		e.MovI(r, int64(j+1))
+	}
+	e.MovI(16, 0x9e37) // mix constant
+	loop := f.Block("loop")
+	// Three rounds over the four chains, round-robin, so consecutive
+	// instructions are independent and a round issues in one cycle.
+	for _, r := range chains {
+		loop.Add(r, r, 16)
+	}
+	for _, r := range chains {
+		loop.XorI(r, r, 0x5bd1)
+	}
+	for _, r := range chains {
+		loop.ShlI(r, r, 3)
+	}
+	loop.AddI(14, 14, 1)
+	loop.CmpI(ir.CondLT, 6, 7, 14, 300_000)
+	loop.On(6).Br("loop")
+	x := f.Block("exit")
+	x.Halt()
+	img, err := ir.Link(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Predecode(img)
+}
+
+// randomProgram predecodes the fixed seeded random pointer-chasing workload,
+// wiring the check/fuzz program family into the benchmark surface.
+func randomProgram(b testing.TB) *decode.Program {
+	b.Helper()
+	img, err := ir.Link(workloads.RandomProgram(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Predecode(img)
+}
+
+// withTable turns the closure-threaded execution core off, keeping the
+// table-dispatch path as the measured baseline the *Table benchmarks track.
+func withTable(cfg Config) Config {
+	cfg.Threaded = false
+	return cfg
+}
+
+func withFF(cfg Config) Config {
+	cfg.FastForward = true
+	return cfg
+}
+
+// benchInterp measures the functional interpreter on one workload: pure
+// architectural execution, no timing model.
+func benchInterp(b *testing.B, cfg Config, dp *decode.Program) {
 	cfg.UseTinyMem()
 	b.ResetTimer()
 	var instrs int64
@@ -47,13 +117,42 @@ func BenchmarkInterpret(b *testing.B) {
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
 }
 
-// benchEngine measures one cycle-level engine on the shared workload,
-// reporting simulated cycles and retired instructions per host second. One
-// machine is built outside the loop and Reset per iteration — the steady
-// state every real consumer reaches through exp.Suite's machine pool, and
-// the regime the allocs/op column tracks (alloc_test.go pins the ceilings).
-func benchEngine(b *testing.B, cfg Config) {
-	dp := benchProgram(b)
+// BenchmarkInterpret measures the functional interpreter on the primary
+// workload, with the threaded chains (the default configuration).
+func BenchmarkInterpret(b *testing.B) { benchInterp(b, DefaultInOrder(), benchProgram(b)) }
+
+// BenchmarkInterpretTable is the same interpretation over per-PC table
+// dispatch — the before/after pair behind the threaded core's ≥2x
+// interpreter gate.
+func BenchmarkInterpretTable(b *testing.B) {
+	benchInterp(b, withTable(DefaultInOrder()), benchProgram(b))
+}
+
+// BenchmarkInterpretMulti measures the interpreter on the multi-phase mcf
+// variant: several hot regions, several compiled chain families.
+func BenchmarkInterpretMulti(b *testing.B) {
+	benchInterp(b, DefaultInOrder(), benchNamed(b, "mcf.multi", 2000))
+}
+
+// BenchmarkInterpretRandom measures the interpreter on the seeded random
+// program family the check and fuzz layers sweep.
+func BenchmarkInterpretRandom(b *testing.B) { benchInterp(b, DefaultInOrder(), randomProgram(b)) }
+
+// BenchmarkInterpretALU measures the interpreter on the non-memory-bound ALU
+// loop, where chain execution pays off most.
+func BenchmarkInterpretALU(b *testing.B) { benchInterp(b, DefaultInOrder(), aluProgram(b)) }
+
+// BenchmarkInterpretALUTable is the ALU loop over table dispatch.
+func BenchmarkInterpretALUTable(b *testing.B) {
+	benchInterp(b, withTable(DefaultInOrder()), aluProgram(b))
+}
+
+// benchEngine measures one cycle-level engine on a workload, reporting
+// simulated cycles and retired instructions per host second. One machine is
+// built outside the loop and Reset per iteration — the steady state every
+// real consumer reaches through exp.Suite's machine pool, and the regime the
+// allocs/op column tracks (alloc_test.go pins the ceilings).
+func benchEngine(b *testing.B, cfg Config, dp *decode.Program) {
 	cfg.UseTinyMem()
 	m := NewPredecoded(cfg, dp)
 	b.ResetTimer()
@@ -75,21 +174,51 @@ func benchEngine(b *testing.B, cfg Config) {
 }
 
 // BenchmarkInOrder measures the 12-stage in-order pipeline model.
-func BenchmarkInOrder(b *testing.B) { benchEngine(b, DefaultInOrder()) }
+func BenchmarkInOrder(b *testing.B) { benchEngine(b, DefaultInOrder(), benchProgram(b)) }
+
+// BenchmarkInOrderTable is the in-order model over table dispatch only.
+func BenchmarkInOrderTable(b *testing.B) {
+	benchEngine(b, withTable(DefaultInOrder()), benchProgram(b))
+}
 
 // BenchmarkOOO measures the 16-stage out-of-order pipeline model.
-func BenchmarkOOO(b *testing.B) { benchEngine(b, DefaultOOO()) }
+func BenchmarkOOO(b *testing.B) { benchEngine(b, DefaultOOO(), benchProgram(b)) }
 
-func withFF(cfg Config) Config {
-	cfg.FastForward = true
-	return cfg
+// BenchmarkOOOTable is the OOO model over table dispatch only.
+func BenchmarkOOOTable(b *testing.B) { benchEngine(b, withTable(DefaultOOO()), benchProgram(b)) }
+
+// BenchmarkInOrderALU / BenchmarkOOOALU measure the cycle engines on the
+// non-memory-bound ALU loop: nearly every instruction takes the pure-step
+// lane, so the pair with their *Table twins is the engines' dispatch-cost
+// speedup (the ≥1.5x cycle-loop gate; see TestThreadedSpeedupGate).
+func BenchmarkInOrderALU(b *testing.B) { benchEngine(b, DefaultInOrder(), aluProgram(b)) }
+
+// BenchmarkInOrderALUTable is the ALU loop on the in-order model, table path.
+func BenchmarkInOrderALUTable(b *testing.B) {
+	benchEngine(b, withTable(DefaultInOrder()), aluProgram(b))
 }
+
+// BenchmarkOOOALU is the ALU loop on the OOO model, threaded path.
+func BenchmarkOOOALU(b *testing.B) { benchEngine(b, DefaultOOO(), aluProgram(b)) }
+
+// BenchmarkOOOALUTable is the ALU loop on the OOO model, table path.
+func BenchmarkOOOALUTable(b *testing.B) { benchEngine(b, withTable(DefaultOOO()), aluProgram(b)) }
+
+// BenchmarkInOrderMulti measures the in-order model on the multi-phase mcf
+// variant, covering multi-region adapted-style control flow.
+func BenchmarkInOrderMulti(b *testing.B) {
+	benchEngine(b, DefaultInOrder(), benchNamed(b, "mcf.multi", 2000))
+}
+
+// BenchmarkInOrderRandom measures the in-order model on the seeded random
+// program family.
+func BenchmarkInOrderRandom(b *testing.B) { benchEngine(b, DefaultInOrder(), randomProgram(b)) }
 
 // BenchmarkInOrderFF measures the in-order model with the stall-aware
 // fast-forward timing core on: bit-identical results (the
 // check.FastForwardEquivalence gate), far fewer simulated-one-at-a-time
 // cycles on this memory-bound workload.
-func BenchmarkInOrderFF(b *testing.B) { benchEngine(b, withFF(DefaultInOrder())) }
+func BenchmarkInOrderFF(b *testing.B) { benchEngine(b, withFF(DefaultInOrder()), benchProgram(b)) }
 
 // BenchmarkOOOFF measures the out-of-order model with fast-forward on.
-func BenchmarkOOOFF(b *testing.B) { benchEngine(b, withFF(DefaultOOO())) }
+func BenchmarkOOOFF(b *testing.B) { benchEngine(b, withFF(DefaultOOO()), benchProgram(b)) }

@@ -21,6 +21,8 @@
 package decode
 
 import (
+	"sync"
+
 	"ssp/internal/ir"
 	"ssp/internal/sim/mem"
 )
@@ -167,6 +169,24 @@ type Program struct {
 	// presize their dense per-load stat tables from it so the counting path
 	// never allocates.
 	MaxID int
+
+	// thrOnce/thr cache the threaded-code compile of this image (see
+	// internal/sim/threaded). The sidecar is config-independent and
+	// immutable like the Program itself, so it is built at most once and
+	// shared by every machine and goroutine that executes this image. It is
+	// held as an opaque any to keep decode a leaf package.
+	thrOnce sync.Once
+	thr     any
+}
+
+// Threaded returns the per-image threaded-code sidecar, invoking build at
+// most once over the Program's lifetime (concurrent callers block on the
+// first build). The cache key is the Program identity: exp.Suite memoizes
+// one Program per (benchmark, variant), so the compile is amortized exactly
+// like the predecode itself.
+func (p *Program) Threaded(build func() any) any {
+	p.thrOnce.Do(func() { p.thr = build() })
+	return p.thr
 }
 
 // Classify maps an opcode to its function-unit and latency classes.

@@ -56,7 +56,7 @@ func (m *Machine) execArch(t *Thread, pc int) *archEffect {
 	// execArch is never reentered within one instruction.
 	ef := &m.ef
 	*ef = archEffect{nextPC: pc + 1, memID: int(d.ID)}
-	if d.Qp != ir.PTrue && !t.preds[d.Qp] {
+	if d.Qp != ir.PTrue && !t.Preds[d.Qp] {
 		ef.nullified = true
 		if d.Op == ir.OpBr {
 			ef.brCond = true // trained as not-taken
@@ -117,85 +117,78 @@ var handlers = [decode.NumHandlers]handlerFn{
 	decode.HGetF:      hGetF,
 }
 
-// setReg writes a general register; writes to the hardwired r0 are dropped.
-func (t *Thread) setReg(r ir.Reg, v uint64) {
-	if r != ir.RegZero {
-		t.regs[r] = v
-	}
-}
-
 func hNop(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {}
 
 func hAdd(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, t.regs[d.Ra]+t.regs[d.Rb])
+	t.SetReg(d.Rd, t.Regs[d.Ra]+t.Regs[d.Rb])
 }
 
 func hAddI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, t.regs[d.Ra]+uint64(d.Imm))
+	t.SetReg(d.Rd, t.Regs[d.Ra]+uint64(d.Imm))
 }
 
 func hSub(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, t.regs[d.Ra]-t.regs[d.Rb])
+	t.SetReg(d.Rd, t.Regs[d.Ra]-t.Regs[d.Rb])
 }
 
 func hSubI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, t.regs[d.Ra]-uint64(d.Imm))
+	t.SetReg(d.Rd, t.Regs[d.Ra]-uint64(d.Imm))
 }
 
 func hMul(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, t.regs[d.Ra]*t.regs[d.Rb])
+	t.SetReg(d.Rd, t.Regs[d.Ra]*t.Regs[d.Rb])
 }
 
 func hMulI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, t.regs[d.Ra]*uint64(d.Imm))
+	t.SetReg(d.Rd, t.Regs[d.Ra]*uint64(d.Imm))
 }
 
 func hAnd(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, t.regs[d.Ra]&t.regs[d.Rb])
+	t.SetReg(d.Rd, t.Regs[d.Ra]&t.Regs[d.Rb])
 }
 
 func hAndI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, t.regs[d.Ra]&uint64(d.Imm))
+	t.SetReg(d.Rd, t.Regs[d.Ra]&uint64(d.Imm))
 }
 
 func hOr(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, t.regs[d.Ra]|t.regs[d.Rb])
+	t.SetReg(d.Rd, t.Regs[d.Ra]|t.Regs[d.Rb])
 }
 
 func hOrI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, t.regs[d.Ra]|uint64(d.Imm))
+	t.SetReg(d.Rd, t.Regs[d.Ra]|uint64(d.Imm))
 }
 
 func hXor(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, t.regs[d.Ra]^t.regs[d.Rb])
+	t.SetReg(d.Rd, t.Regs[d.Ra]^t.Regs[d.Rb])
 }
 
 func hXorI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, t.regs[d.Ra]^uint64(d.Imm))
+	t.SetReg(d.Rd, t.Regs[d.Ra]^uint64(d.Imm))
 }
 
 func hShl(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, t.regs[d.Ra]<<(t.regs[d.Rb]&63))
+	t.SetReg(d.Rd, t.Regs[d.Ra]<<(t.Regs[d.Rb]&63))
 }
 
 func hShlI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, t.regs[d.Ra]<<(uint64(d.Imm)&63))
+	t.SetReg(d.Rd, t.Regs[d.Ra]<<(uint64(d.Imm)&63))
 }
 
 func hShr(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, t.regs[d.Ra]>>(t.regs[d.Rb]&63))
+	t.SetReg(d.Rd, t.Regs[d.Ra]>>(t.Regs[d.Rb]&63))
 }
 
 func hShrI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, t.regs[d.Ra]>>(uint64(d.Imm)&63))
+	t.SetReg(d.Rd, t.Regs[d.Ra]>>(uint64(d.Imm)&63))
 }
 
 func hMov(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, t.regs[d.Ra])
+	t.SetReg(d.Rd, t.Regs[d.Ra])
 }
 
 func hMovI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, uint64(d.Imm))
+	t.SetReg(d.Rd, uint64(d.Imm))
 }
 
 // cmpResult evaluates an integer comparison.
@@ -225,24 +218,24 @@ func cmpResult(cond ir.Cond, a, b uint64) bool {
 // hardwired p0 are dropped.
 func setPreds(t *Thread, d *decode.Decoded, r bool) {
 	if d.Pd1 != ir.PTrue {
-		t.preds[d.Pd1] = r
+		t.Preds[d.Pd1] = r
 	}
 	if d.Pd2 != ir.PTrue {
-		t.preds[d.Pd2] = !r
+		t.Preds[d.Pd2] = !r
 	}
 }
 
 func hCmp(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	setPreds(t, d, cmpResult(d.Cond, t.regs[d.Ra], t.regs[d.Rb]))
+	setPreds(t, d, cmpResult(d.Cond, t.Regs[d.Ra], t.Regs[d.Rb]))
 }
 
 func hCmpI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	setPreds(t, d, cmpResult(d.Cond, t.regs[d.Ra], uint64(d.Imm)))
+	setPreds(t, d, cmpResult(d.Cond, t.Regs[d.Ra], uint64(d.Imm)))
 }
 
 func hLd(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	addr := t.regs[d.Ra] + uint64(d.Disp)
-	t.setReg(d.Rd, m.Mem.Load(addr))
+	addr := t.Regs[d.Ra] + uint64(d.Disp)
+	t.SetReg(d.Rd, m.Mem.Load(addr))
 	ef.memKind, ef.memAddr = memLoad, addr
 	ef.loadDest = ir.GRLoc(d.Rd)
 }
@@ -251,28 +244,28 @@ func hLdPI(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
 	// Post-increment form: d.Imm carries the stride. The base update reads
 	// Ra after the destination write, so ld rX = [rX], s post-increments
 	// the loaded value — exactly the pre-split semantics.
-	addr := t.regs[d.Ra] + uint64(d.Disp)
-	t.setReg(d.Rd, m.Mem.Load(addr))
-	t.setReg(d.Ra, t.regs[d.Ra]+uint64(d.Imm))
+	addr := t.Regs[d.Ra] + uint64(d.Disp)
+	t.SetReg(d.Rd, m.Mem.Load(addr))
+	t.SetReg(d.Ra, t.Regs[d.Ra]+uint64(d.Imm))
 	ef.memKind, ef.memAddr = memLoad, addr
 	ef.loadDest = ir.GRLoc(d.Rd)
 }
 
 func hSt(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	addr := t.regs[d.Ra] + uint64(d.Disp)
+	addr := t.Regs[d.Ra] + uint64(d.Disp)
 	if t.spec {
 		// P-slices never contain stores (§2); if one sneaks into a
 		// speculative thread the hardware suppresses it so the main
 		// thread's architectural state is never altered.
 		m.res.SpecStores++
 	} else {
-		m.Mem.Store(addr, t.regs[d.Rb])
+		m.Mem.Store(addr, t.Regs[d.Rb])
 		ef.memKind, ef.memAddr = memStore, addr
 	}
 }
 
 func hLfetch(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	ef.memKind, ef.memAddr = memPrefetch, t.regs[d.Ra]+uint64(d.Disp)
+	ef.memKind, ef.memAddr = memPrefetch, t.Regs[d.Ra]+uint64(d.Disp)
 }
 
 func hBr(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
@@ -282,30 +275,30 @@ func hBr(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
 }
 
 func hCall(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.brs[d.Bd] = uint64(pc + 1)
+	t.BRs[d.Bd] = uint64(pc + 1)
 	ef.nextPC = int(d.Tgt)
 }
 
 func hCallB(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	tgt := int(t.brs[d.Bs])
-	t.brs[d.Bd] = uint64(pc + 1)
+	tgt := int(t.BRs[d.Bs])
+	t.BRs[d.Bd] = uint64(pc + 1)
 	ef.nextPC = tgt
 }
 
 func hRet(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	ef.nextPC = int(t.brs[d.Bs])
+	ef.nextPC = int(t.BRs[d.Bs])
 }
 
 func hMovBR(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.brs[d.Bd] = t.regs[d.Ra]
+	t.BRs[d.Bd] = t.Regs[d.Ra]
 }
 
 func hMovBRFunc(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.brs[d.Bd] = uint64(d.Tgt)
+	t.BRs[d.Bd] = uint64(d.Tgt)
 }
 
 func hMovFromBR(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, t.brs[d.Bs])
+	t.SetReg(d.Rd, t.BRs[d.Bs])
 }
 
 func hChk(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
@@ -339,11 +332,11 @@ func hSpawn(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
 }
 
 func hLiw(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.outLIB[d.Imm] = t.regs[d.Ra] // slot pre-masked at decode
+	t.OutLIB[d.Imm] = t.Regs[d.Ra] // slot pre-masked at decode
 }
 
 func hLir(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, t.inLIB[d.Imm]) // slot pre-masked at decode
+	t.SetReg(d.Rd, t.InLIB[d.Imm]) // slot pre-masked at decode
 }
 
 func hKill(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
@@ -359,40 +352,40 @@ func hHalt(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
 }
 
 func hFAdd(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setFR(d.Fd, t.fr(d.Fa)+t.fr(d.Fb))
+	t.SetFR(d.Fd, t.FR(d.Fa)+t.FR(d.Fb))
 }
 
 func hFSub(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setFR(d.Fd, t.fr(d.Fa)-t.fr(d.Fb))
+	t.SetFR(d.Fd, t.FR(d.Fa)-t.FR(d.Fb))
 }
 
 func hFMul(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setFR(d.Fd, t.fr(d.Fa)*t.fr(d.Fb))
+	t.SetFR(d.Fd, t.FR(d.Fa)*t.FR(d.Fb))
 }
 
 func hFMA(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setFR(d.Fd, t.fr(d.Fa)*t.fr(d.Fb)+t.fr(d.Fc))
+	t.SetFR(d.Fd, t.FR(d.Fa)*t.FR(d.Fb)+t.FR(d.Fc))
 }
 
 func hFLd(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	addr := t.regs[d.Ra] + uint64(d.Disp)
-	t.setFR(d.Fd, math.Float64frombits(m.Mem.Load(addr)))
+	addr := t.Regs[d.Ra] + uint64(d.Disp)
+	t.SetFR(d.Fd, math.Float64frombits(m.Mem.Load(addr)))
 	ef.memKind, ef.memAddr = memLoad, addr
 	ef.loadDest = ir.FRLoc(d.Fd)
 }
 
 func hFSt(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	addr := t.regs[d.Ra] + uint64(d.Disp)
+	addr := t.Regs[d.Ra] + uint64(d.Disp)
 	if t.spec {
 		m.res.SpecStores++
 	} else {
-		m.Mem.Store(addr, math.Float64bits(t.fr(d.Fa)))
+		m.Mem.Store(addr, math.Float64bits(t.FR(d.Fa)))
 		ef.memKind, ef.memAddr = memStore, addr
 	}
 }
 
 func hFCmp(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	a, b := t.fr(d.Fa), t.fr(d.Fb)
+	a, b := t.FR(d.Fa), t.FR(d.Fb)
 	var r bool
 	switch d.Cond {
 	case ir.CondEQ:
@@ -412,9 +405,9 @@ func hFCmp(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
 }
 
 func hSetF(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setFR(d.Fd, math.Float64frombits(t.regs[d.Ra]))
+	t.SetFR(d.Fd, math.Float64frombits(t.Regs[d.Ra]))
 }
 
 func hGetF(m *Machine, t *Thread, d *decode.Decoded, pc int, ef *archEffect) {
-	t.setReg(d.Rd, math.Float64bits(t.fr(d.Fa)))
+	t.SetReg(d.Rd, math.Float64bits(t.FR(d.Fa)))
 }

@@ -78,7 +78,7 @@ func (m *Machine) fastForwardInOrder(main *Thread, s CycleStats) {
 		// structural stall is impossible.)
 		blocked := false
 		for _, loc := range m.code[t.pc].Uses {
-			if r := t.ready[loc]; r > m.now {
+			if r := t.sb[loc].ready; r > m.now {
 				blocked = true
 				if r < next {
 					next = r

@@ -114,10 +114,10 @@ func (profileHooks) Exec(m *Machine, t *Thread, pc int) {
 	// Indirect call about to execute (predicate permitting): record the
 	// edge from the pre-execution branch register, the same value the
 	// handler will jump through.
-	if d.Qp != ir.PTrue && !t.preds[d.Qp] {
+	if d.Qp != ir.PTrue && !t.Preds[d.Qp] {
 		return
 	}
-	tgt := int(t.brs[d.Bs])
+	tgt := int(t.BRs[d.Bs])
 	edges := m.res.CallEdges[int(d.ID)]
 	if edges == nil {
 		edges = make(map[int]uint64)
@@ -155,6 +155,10 @@ func (m *Machine) AttachExec(h ExecHooks) { m.attachExec(h) }
 func (m *Machine) SetCycleHooks(h CycleHooks) {
 	m.cycle = h
 	m.skip, _ = h.(CycleSkipper)
+	// The cycle loops call the default stats recorder directly (no
+	// interface dispatch) when it is the installed hook — the common case
+	// for every matrix/serving run.
+	_, m.statsDefault = h.(statsHooks)
 }
 
 // DisableStats detaches the default per-cycle stats recorder. The run gets

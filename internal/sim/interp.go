@@ -7,6 +7,7 @@ import (
 	"ssp/internal/ir"
 	"ssp/internal/sim/decode"
 	"ssp/internal/sim/mem"
+	"ssp/internal/sim/threaded"
 )
 
 // InterpResult is the outcome of a pure functional interpretation.
@@ -33,6 +34,16 @@ func Interpret(cfg Config, img *ir.Image, maxInstrs int64) (*InterpResult, error
 // InterpretPredecoded is Interpret over an already-predecoded image, for
 // callers that share one decode across engines and configurations.
 func InterpretPredecoded(cfg Config, dp *decode.Program, maxInstrs int64) (*InterpResult, error) {
+	if cfg.Threaded && !cfg.Profile {
+		// The threaded core executes the compiled block chains directly —
+		// no machine, no dispatch table, no per-PC loop. Profiling runs
+		// need the per-instruction exec hook and stay on the table path;
+		// so does any program whose control flow the chains cannot
+		// represent (the rare ErrUnthreadable fallthrough below).
+		if r, err, ok := interpretThreaded(dp, maxInstrs); ok {
+			return r, err
+		}
+	}
 	m := NewPredecoded(cfg, dp)
 	m.noSpec = true
 	t := m.main()
@@ -43,7 +54,7 @@ func InterpretPredecoded(cfg Config, dp *decode.Program, maxInstrs int64) (*Inte
 		ef := m.execArch(t, t.pc)
 		n++
 		if ef.halt {
-			return &InterpResult{Instrs: n, Regs: t.regs, Mem: m.Mem}, nil
+			return &InterpResult{Instrs: n, Regs: t.Regs, Mem: m.Mem}, nil
 		}
 		if ef.kill {
 			return nil, fmt.Errorf("sim: main thread executed kill at pc %d", t.pc)
@@ -51,6 +62,31 @@ func InterpretPredecoded(cfg Config, dp *decode.Program, maxInstrs int64) (*Inte
 		t.pc = ef.nextPC
 	}
 	return nil, fmt.Errorf("sim: interpretation exceeded %d instructions", maxInstrs)
+}
+
+// interpretThreaded runs the main thread over the closure-threaded chains.
+// The false return means the chains cannot represent the program's control
+// flow (statically, or a dynamic branch-register target mid-block) and the
+// caller must fall back to table dispatch — the fallback re-executes from a
+// fresh memory image, so a mid-run bailout is still exact.
+func interpretThreaded(dp *decode.Program, maxInstrs int64) (*InterpResult, error, bool) {
+	tp := ThreadedProgram(dp)
+	if tp.Unthreadable {
+		return nil, nil, false
+	}
+	x := &threaded.Ctx{Mem: mem.NewMemory()}
+	x.Mem.InstallSnapshot(dp.Mem)
+	n, err := tp.Run(x, dp.Img.Entry, maxInstrs)
+	switch e := err.(type) {
+	case nil:
+		return &InterpResult{Instrs: n, Regs: x.Regs, Mem: x.Mem}, nil, true
+	case *threaded.KillError:
+		return nil, fmt.Errorf("sim: main thread executed kill at pc %d", e.PC), true
+	case *threaded.LimitError:
+		return nil, fmt.Errorf("sim: interpretation exceeded %d instructions", maxInstrs), true
+	default: // threaded.ErrUnthreadable
+		return nil, nil, false
+	}
 }
 
 // RunProgram links and runs a program under the given configuration.

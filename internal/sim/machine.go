@@ -10,6 +10,7 @@ import (
 	"ssp/internal/sim/bpred"
 	"ssp/internal/sim/decode"
 	"ssp/internal/sim/mem"
+	"ssp/internal/sim/threaded"
 )
 
 // libSlots is the number of live-in buffer slots per context (the modelled
@@ -17,20 +18,20 @@ import (
 // (Table 2).
 const libSlots = ir.LIBSlots
 
-// Thread is one hardware thread context.
+// Thread is one hardware thread context. Its architectural state — register
+// files, predicates, branch registers, live-in buffers — is the embedded
+// threaded.Ctx, the same structure the closure-threaded execution core's
+// compiled closures write, so the engines can run specialized steps against
+// thread state with no copying or indirection. Ctx.Mem stays nil on engine
+// threads (their memory instructions take the table path, where the
+// hierarchy timing lives).
 type Thread struct {
 	idx    int
 	active bool
 	spec   bool
 
-	regs  [ir.NumRegs]uint64
-	preds [ir.NumPreds]bool
-	brs   [ir.NumBRs]uint64
-	fregs [ir.NumFRs]float64
-	pc    int
-
-	inLIB  [libSlots]uint64
-	outLIB [libSlots]uint64
+	threaded.Ctx
+	pc int
 
 	// resumePC is where the main thread resumes after a chk.c stub, set
 	// when the exception is taken and consumed by the stub's spawn
@@ -47,9 +48,11 @@ type Thread struct {
 	instrs int64
 
 	// In-order scoreboard: per-location ready cycle and, for locations
-	// produced by an outstanding load, the satisfying level + 1.
-	ready     [ir.NumLocs]int64
-	loadLevel [ir.NumLocs]uint8
+	// produced by an outstanding load, the satisfying level + 1. One array
+	// of pairs rather than two parallel arrays: the issue loop touches
+	// ready and loadLevel of the same location back to back, so pairing
+	// them halves the bounds checks and keeps both on one cache line.
+	sb [ir.NumLocs]sbEntry
 
 	// pending tracks outstanding cache fills (for accounting; only
 	// maintained while cycle hooks are installed).
@@ -57,6 +60,14 @@ type Thread struct {
 
 	// OOO state (nil on the in-order model).
 	win *window
+}
+
+// sbEntry is one in-order scoreboard slot: the cycle its location becomes
+// ready and, while an outstanding load produces it, the satisfying memory
+// level + 1 (0 for ALU results and L1 hits).
+type sbEntry struct {
+	ready     int64
+	loadLevel uint8
 }
 
 // Context returns the hardware context index of the thread.
@@ -117,15 +128,27 @@ type Machine struct {
 	// ef is execArch's scratch effect slot (see exec.go).
 	ef archEffect
 
+	// thr is the closure-threaded compile of the image (nil with
+	// Config.Threaded off) and steps its per-PC pure-step array: for
+	// instructions with no memory, control, or machine-level effect the
+	// engines call the specialized closure instead of the dispatch table.
+	// Both are shared and immutable, memoized on the decode.Program.
+	thr      *threaded.Program
+	steps    []threaded.Step
+	stepInfo []threaded.StepInfo
+
 	// exec and cycle are the instrumentation hook points (hooks.go). exec
 	// is nil unless a tracer/profiler is attached; cycle defaults to the
 	// stats recorder behind the Figure 10 breakdown and the utilization
 	// histogram, and can be detached for pure-throughput runs. skip caches
 	// cycle's CycleSkipper view (nil when cycle cannot bulk-credit), the
-	// gate the fast-forward core checks before jumping.
-	exec  ExecHooks
-	cycle CycleHooks
-	skip  CycleSkipper
+	// gate the fast-forward core checks before jumping. statsDefault
+	// records that cycle is exactly the default stats recorder, letting
+	// the cycle loops call it devirtualized.
+	exec         ExecHooks
+	cycle        CycleHooks
+	skip         CycleSkipper
+	statsDefault bool
 
 	// noSpec suppresses all speculative-thread creation: chk.c never takes
 	// its exception and spawn requests are counted but ignored. It is the
@@ -163,6 +186,15 @@ func New(cfg Config, img *ir.Image) *Machine {
 // and goroutines, may execute it concurrently.
 func Predecode(img *ir.Image) *decode.Program { return decode.Predecode(img) }
 
+// ThreadedProgram returns the closure-threaded compile of a predecoded
+// image, building it at most once per decode.Program (the compile is
+// memoized on the sidecar, so sharing the decode shares the chains).
+// Machines with Config.Threaded do this on Reset; exp.Suite calls it
+// eagerly so matrix cells never pay the compile inside a timed run.
+func ThreadedProgram(dp *decode.Program) *threaded.Program {
+	return dp.Threaded(func() any { return threaded.Compile(dp) }).(*threaded.Program)
+}
+
 // NewPredecoded builds a machine over an already-predecoded image.
 func NewPredecoded(cfg Config, dp *decode.Program) *Machine {
 	m := &Machine{
@@ -190,6 +222,15 @@ func (m *Machine) Reset(cfg Config, dp *decode.Program) {
 	m.Cfg = cfg
 	m.Img = dp.Img
 	m.code = dp.Code
+	if cfg.Threaded {
+		m.thr = ThreadedProgram(dp)
+		m.steps = m.thr.Steps
+		m.stepInfo = m.thr.Info
+	} else {
+		m.thr = nil
+		m.steps = nil
+		m.stepInfo = nil
+	}
 	m.lat = [decode.NumLatClasses]int64{
 		decode.Lat1:   1,
 		decode.Lat2:   2,
@@ -266,24 +307,6 @@ func (m *Machine) freeContext() *Thread {
 	return nil
 }
 
-// fr reads an FP register, honoring the hardwired f0 = +0.0 and f1 = +1.0.
-func (t *Thread) fr(f ir.FR) float64 {
-	switch f {
-	case ir.FZero:
-		return 0
-	case ir.FOne:
-		return 1
-	}
-	return t.fregs[f]
-}
-
-// setFR writes an FP register; writes to the hardwired f0/f1 are dropped.
-func (t *Thread) setFR(f ir.FR, v float64) {
-	if f != ir.FZero && f != ir.FOne {
-		t.fregs[f] = v
-	}
-}
-
 // startThread initializes a speculative thread at the target PC, handing it
 // the parent's outgoing live-in buffer — the inter-thread communication path
 // through the RSE backing store (§2.1).
@@ -296,7 +319,7 @@ func (m *Machine) startThread(c *Thread, pc int, parent *Thread) {
 	*c = Thread{idx: idx, active: true, spec: true, pc: pc, resumePC: -1}
 	m.liveSpec++
 	c.pending = pending
-	c.inLIB = parent.outLIB
+	c.InLIB = parent.OutLIB
 	c.frontStallUntil = m.now + m.Cfg.SpawnStartup
 	if m.Cfg.Model == OOO {
 		c.win = win.reset(m.Cfg.ROBSize)
@@ -367,7 +390,7 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	// Detach the statistics so the Result stays valid when the machine is
 	// Reset and reused for another run (exp.Suite pools machines).
 	m.res.Hier = m.Hier.DetachStats()
-	m.res.FinalRegs = m.main().regs
+	m.res.FinalRegs = m.main().Regs
 	m.res.MemChecksum = m.Mem.Checksum()
 	r := m.res
 	return &r, nil

@@ -42,6 +42,11 @@ type window struct {
 	cap     int
 
 	rename [ir.NumLocs]int64
+	// firstUnissued is a scan hint: every record below this absolute
+	// position has issued, so wakeup starts here instead of at headAbs.
+	// Purely an iteration-order optimization — the records it skips are
+	// exactly the ones the scan would skip one at a time.
+	firstUnissued int64
 	// blocked is a mispredicted branch (by absolute position, -1 = none)
 	// that stalls dispatch until it issues; the misprediction penalty is
 	// charged when it resolves.
@@ -76,6 +81,7 @@ func (w *window) reset(capacity int) *window {
 	w.mask = int64(len(w.recs) - 1)
 	w.cap = capacity
 	w.headAbs, w.tailAbs = 0, 0
+	w.firstUnissued = 0
 	w.blocked = -1
 	w.haltAfterDrain, w.waitDrain = false, false
 	for i := range w.rename {
@@ -204,7 +210,12 @@ func (m *Machine) runOOO() {
 			m.mainDone = true
 		}
 		stats := CycleStats{IssuedMain: issuedMain}
-		if m.cycle != nil {
+		if m.statsDefault {
+			// Devirtualized default stats recorder (same effect as the
+			// interface call below, minus the dynamic dispatch).
+			m.accountCycle(main, issuedMain, false, 0)
+			m.recordUtilization()
+		} else if m.cycle != nil {
 			m.cycle.Cycle(m, main, stats)
 		}
 		if m.Cfg.FastForward && !retired && issuedTotal == 0 && dispatched == 0 && !m.mainDone {
@@ -222,7 +233,14 @@ func (m *Machine) issueOOO(t *Thread, slots int, intU, memU, brU, fpU *int) int 
 	w := t.win
 	issued := 0
 	considered := 0
-	for a := w.headAbs; a < w.tailAbs && issued < slots && considered < m.Cfg.RSSize; a++ {
+	for w.firstUnissued < w.tailAbs && w.at(w.firstUnissued).issued {
+		w.firstUnissued++
+	}
+	start := w.firstUnissued
+	if start < w.headAbs {
+		start = w.headAbs
+	}
+	for a := start; a < w.tailAbs && issued < slots && considered < m.Cfg.RSSize; a++ {
 		r := w.at(a)
 		if r.issued {
 			continue
@@ -308,6 +326,49 @@ func (m *Machine) dispatchOOO(t *Thread, slots int) int {
 		}
 		pc := t.pc
 		d := &m.code[pc]
+		if m.steps != nil {
+			if s := m.steps[pc]; s != nil {
+				// Pure-step fast path: no memory access, no control
+				// transfer, no halt — the record claims its ring slot and
+				// renames exactly as below, minus the archEffect round-trip.
+				if m.exec != nil {
+					m.exec.Exec(m, t, pc)
+				}
+				s(&t.Ctx)
+				t.instrs++
+				killed := false
+				if t.spec {
+					m.res.SpecInstrs++
+					// >= for the same reason as the table path below.
+					if t.instrs >= m.Cfg.MaxSpecInstrs {
+						killed = true
+					}
+				} else {
+					m.res.MainInstrs++
+				}
+				a := w.tailAbs
+				r := w.at(a)
+				*r = wrec{pc: pc, fu: d.FU, lat: m.lat[d.Lat]}
+				for _, loc := range d.Uses {
+					if pa := w.rename[loc]; pa >= w.headAbs && !w.srcReady(pa, m.now) {
+						if r.nsrc < len(r.srcs) {
+							r.srcs[r.nsrc] = pa
+							r.nsrc++
+						}
+					}
+				}
+				for _, loc := range d.Defs {
+					w.rename[loc] = a
+				}
+				w.tailAbs = a + 1
+				if killed {
+					w.haltAfterDrain = true
+					return k + 1
+				}
+				t.pc = pc + 1
+				continue
+			}
+		}
 		ef := m.execArch(t, pc)
 		t.instrs++
 		if t.spec {

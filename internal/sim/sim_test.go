@@ -510,8 +510,8 @@ func TestQuickDifferentialEngines(t *testing.T) {
 				return false
 			}
 			for reg := 14; reg < 31; reg++ {
-				if m.main().regs[reg] != ref.Regs[reg] {
-					t.Logf("seed %d %v: r%d = %d, want %d", seed, cfg.Model, reg, m.main().regs[reg], ref.Regs[reg])
+				if m.main().Regs[reg] != ref.Regs[reg] {
+					t.Logf("seed %d %v: r%d = %d, want %d", seed, cfg.Model, reg, m.main().Regs[reg], ref.Regs[reg])
 					return false
 				}
 			}
